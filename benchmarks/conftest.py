@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and prints it in the paper's layout.
+Absolute values are simulator-calibrated; EXPERIMENTS.md records the
+paper-vs-measured comparison for every row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered table straight to the terminal (bypassing capture)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show
+
+
+def once(benchmark, fn):
+    """Run a heavyweight simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

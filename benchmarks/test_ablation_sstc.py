@@ -1,0 +1,88 @@
+"""§8.3.3 ablation: hardware time CSR + Sstc removes the need for offload.
+
+The paper: "implementing support for reading the time CSR plus the Sstc
+extension would remove 96.5% of all world switches on our application
+benchmarks", so fast-path offloading is unnecessary on RVA23-class CPUs.
+
+We run the application mixes with offload *disabled* on (a) the stock
+VisionFive 2 and (b) the same platform with a hardware ``time`` CSR and
+Sstc, and compare world-switch counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.runner import run_workload
+from repro.bench.tables import render_table
+from repro.os_model.workloads import APPLICATION_MIXES
+from repro.spec.platform import VISIONFIVE2
+
+OPERATIONS = 200
+
+SSTC_PLATFORM = VISIONFIVE2.with_overrides(
+    name="visionfive2",  # same cost model
+    has_hw_time_csr=True,
+    has_sstc=True,
+)
+
+
+def run_matrix():
+    results = {}
+    for app, mix in APPLICATION_MIXES.items():
+        baseline = run_workload("miralis-no-offload", VISIONFIVE2, mix=mix,
+                                operations=OPERATIONS)
+        with_sstc = run_workload("miralis-no-offload", SSTC_PLATFORM, mix=mix,
+                                 operations=OPERATIONS)
+        results[app] = (baseline.world_switches, with_sstc.world_switches)
+    return results
+
+
+def test_sstc_ablation(benchmark, show):
+    results = once(benchmark, run_matrix)
+    total_before = sum(before for before, _after in results.values())
+    total_after = sum(after for _before, after in results.values())
+    removed = 1 - total_after / total_before
+    rows = [
+        (app, before, after, f"{(1 - after / before) * 100:.1f}%")
+        for app, (before, after) in sorted(results.items())
+    ]
+    rows.append(("total", total_before, total_after, f"{removed * 100:.1f}%"))
+    show(render_table(
+        "Sstc ablation: world switches without offload, stock VF2 vs "
+        "VF2+time-CSR+Sstc (paper: 96.5% removed)",
+        ("application", "world switches", "with time+Sstc", "removed"), rows,
+    ))
+    # The paper's claim: the overwhelming majority of world switches
+    # disappear once time reads and timer programming stay in hardware.
+    assert removed > 0.90
+    for app, (before, after) in results.items():
+        assert after < before, app
+
+
+def test_offload_unneeded_on_rva23(benchmark, show):
+    """On an RVA23-like platform, no-offload ≈ offload ≈ native."""
+    from repro.bench.stats import relative
+
+    mix = APPLICATION_MIXES["redis"]
+
+    def run_three():
+        return {
+            configuration: run_workload(configuration, SSTC_PLATFORM, mix=mix,
+                                        operations=OPERATIONS)
+            for configuration in ("native", "miralis", "miralis-no-offload")
+        }
+
+    runs = once(benchmark, run_three)
+    native = runs["native"].throughput
+    no_offload_rel = relative(runs["miralis-no-offload"].throughput, native)
+    show(render_table(
+        "Redis on VF2+time+Sstc: fast-path offloading no longer matters",
+        ("configuration", "relative performance"),
+        [(name, f"{relative(run.throughput, native):.3f}")
+         for name, run in runs.items()],
+    ))
+    assert no_offload_rel > 0.97  # within a few percent of native

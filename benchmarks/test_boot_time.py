@@ -1,0 +1,75 @@
+"""§8.3.2 boot time: power-on to login prompt under the three deployments.
+
+Paper (VisionFive 2): native 47.5 s, Miralis 48.0 s (1% overhead),
+no-offload 61.3 s (29% overhead).  The modelled boot runs time-scaled;
+reported seconds are rescaled to the full boot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.runner import build_system
+from repro.bench.stats import overhead_percent
+from repro.bench.tables import render_table
+from repro.os_model.bootflow import run_boot_flow
+from repro.spec.platform import VISIONFIVE2
+
+PAPER_SECONDS = {"native": 47.5, "miralis": 48.0, "miralis-no-offload": 61.3}
+SCALE = 0.01
+
+
+def run_boot(configuration):
+    box = {}
+
+    def workload(kernel, ctx):
+        box["result"] = run_boot_flow(kernel, ctx, scale=SCALE)
+
+    system = build_system(configuration, VISIONFIVE2, workload)
+    system.run()
+    return box["result"]
+
+
+def run_all():
+    return {
+        configuration: run_boot(configuration)
+        for configuration in PAPER_SECONDS
+    }
+
+
+def test_boot_time(benchmark, show):
+    data = once(benchmark, run_all)
+    native_seconds = data["native"].boot_seconds
+    rows = []
+    for configuration, result in data.items():
+        rows.append((
+            configuration,
+            f"{PAPER_SECONDS[configuration]:.1f} s",
+            f"{result.boot_seconds:.1f} s",
+            f"{overhead_percent(result.boot_seconds, native_seconds):+.1f}%",
+            f"{result.world_switch_rate_per_s:.2f}/s",
+        ))
+    show(render_table(
+        "Boot time, VisionFive 2 (paper: +1% Miralis, +29% no-offload; "
+        "world switches 1.17/s with offload)",
+        ("configuration", "paper", "measured", "overhead", "world switches"),
+        rows,
+    ))
+    miralis_overhead = overhead_percent(
+        data["miralis"].boot_seconds, native_seconds
+    )
+    no_offload_overhead = overhead_percent(
+        data["miralis-no-offload"].boot_seconds, native_seconds
+    )
+    # Shape: Miralis within ~2% of native; disabling the fast path costs
+    # real percentage points.  (The paper measures 29% on hardware; the
+    # modelled boot reproduces the ordering and the world-switch collapse,
+    # but underestimates the absolute no-offload penalty — see
+    # EXPERIMENTS.md for the discussion.)
+    assert abs(miralis_overhead) < 3.0
+    assert 1.0 < no_offload_overhead < 80.0
+    assert no_offload_overhead > 3 * abs(miralis_overhead)
+    # Offload keeps world switches rare during boot (paper: 1.17/s).
+    assert data["miralis"].world_switch_rate_per_s < 30
+    assert data["miralis-no-offload"].world_switch_rate_per_s > 1_000

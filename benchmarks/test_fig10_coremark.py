@@ -1,0 +1,64 @@
+"""Figure 10: relative CoreMark-Pro scores.
+
+Each of the nine CoreMark-Pro sub-benchmarks runs under the three
+deployments on the VisionFive 2; scores are relative to native.  Paper
+shape: Miralis ≈ 1.0 across the board; no-offload averages ~1.9% lower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.runner import compare_configurations
+from repro.bench.stats import geomean, relative
+from repro.bench.tables import render_table
+from repro.os_model.workloads import COREMARK_PRO_SUITE
+from repro.spec.platform import VISIONFIVE2
+
+OPERATIONS = 150
+
+
+def run_suite():
+    scores = {}
+    for name, mix in COREMARK_PRO_SUITE.items():
+        runs = compare_configurations(VISIONFIVE2, mix, operations=OPERATIONS)
+        native = runs["native"].throughput
+        scores[name] = {
+            "miralis": relative(runs["miralis"].throughput, native),
+            "miralis-no-offload": relative(
+                runs["miralis-no-offload"].throughput, native
+            ),
+            "world_switch_rate": runs["miralis"].world_switch_rate,
+        }
+    return scores
+
+
+def test_figure10_coremark_pro(benchmark, show):
+    scores = once(benchmark, run_suite)
+    rows = [
+        (name.removeprefix("coremark:"),
+         f"{values['miralis']:.3f}",
+         f"{values['miralis-no-offload']:.3f}")
+        for name, values in sorted(scores.items())
+    ]
+    miralis_scores = [values["miralis"] for values in scores.values()]
+    no_offload_scores = [
+        values["miralis-no-offload"] for values in scores.values()
+    ]
+    rows.append(("geomean",
+                 f"{geomean(miralis_scores):.3f}",
+                 f"{geomean(no_offload_scores):.3f}"))
+    show(render_table(
+        "Figure 10: relative CoreMark-Pro scores, VisionFive 2 "
+        "(native = 1.000; paper: Miralis ~1.0, no-offload ~0.981)",
+        ("sub-benchmark", "miralis", "miralis no-offload"), rows,
+    ))
+    # Q2: Miralis causes no overhead (within 1%) on every sub-benchmark.
+    for name, values in scores.items():
+        assert values["miralis"] == pytest.approx(1.0, abs=0.02), name
+    # Q3 shape: no-offload costs a few percent on CPU-bound work.
+    average_no_offload = geomean(no_offload_scores)
+    assert 0.90 <= average_no_offload <= 0.999
+    # World switches are rare under offload (paper: ~0.5/s on microbenches).
+    assert all(values["world_switch_rate"] < 100 for values in scores.values())

@@ -1,0 +1,85 @@
+"""Figure 11: IOzone read/write throughput on the VisionFive 2.
+
+Models IOzone's O_DIRECT 128K-record runs: every operation is one record
+transfer surrounded by the block layer's trap mix (timestamps, plugs,
+completions).  Paper shape: Miralis matches native (writes marginally
+better), no-offload loses ~10.6% on average.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.runner import build_system
+from repro.bench.stats import relative
+from repro.bench.tables import render_table
+from repro.os_model.workloads import IOZONE
+from repro.spec.platform import VISIONFIVE2
+
+RECORD_BYTES = 128 * 1024
+RECORDS = 60
+#: Device latency per 128K record at VF2 eMMC speeds (~300-400 MB/s peak
+#: sequential with O_DIRECT), in cycles at 1.5 GHz.
+DEVICE_CYCLES = {"read": 500_000, "write": 700_000}
+#: Block-layer traps per record: timestamps, plug/unplug, completion.
+TRAPS_PER_RECORD = {"read": 8, "write": 6}
+
+
+def run_iozone(configuration, direction):
+    results = {}
+
+    def workload(kernel, ctx):
+        machine = kernel.machine
+        start = machine.cycles
+        for _ in range(RECORDS):
+            ctx.compute(20_000)  # buffer management, checksums
+            machine.charge(DEVICE_CYCLES[direction])  # the device transfer
+            for _ in range(TRAPS_PER_RECORD[direction]):
+                kernel.read_time(ctx)  # block-layer timestamps
+        elapsed = (machine.cycles - start) / machine.config.frequency_hz
+        results["throughput"] = RECORDS * RECORD_BYTES / elapsed / 1e6  # MB/s
+
+    system = build_system(configuration, VISIONFIVE2, workload)
+    system.run()
+    return results["throughput"]
+
+
+def run_all():
+    return {
+        direction: {
+            configuration: run_iozone(configuration, direction)
+            for configuration in ("native", "miralis", "miralis-no-offload")
+        }
+        for direction in ("read", "write")
+    }
+
+
+def test_figure11_iozone(benchmark, show):
+    data = once(benchmark, run_all)
+    rows = []
+    for direction, per_config in data.items():
+        native = per_config["native"]
+        rows.append((
+            f"{direction} (128K records)",
+            f"{native:.0f} MB/s",
+            f"{per_config['miralis']:.0f} MB/s "
+            f"({relative(per_config['miralis'], native):.3f}x)",
+            f"{per_config['miralis-no-offload']:.0f} MB/s "
+            f"({relative(per_config['miralis-no-offload'], native):.3f}x)",
+        ))
+    show(render_table(
+        "Figure 11: IOzone throughput, VisionFive 2 "
+        "(paper: Miralis ~= native, no-offload ~10.6% lower)",
+        ("workload", "native", "miralis", "miralis no-offload"), rows,
+    ))
+    for direction, per_config in data.items():
+        native = per_config["native"]
+        # Q2: no overhead with the fast path (Miralis may be slightly faster).
+        assert relative(per_config["miralis"], native) == \
+            pytest.approx(1.0, abs=0.02)
+        # No-offload: around the paper's 10.6% average loss.
+        loss = 1 - relative(per_config["miralis-no-offload"], native)
+        assert 0.03 < loss < 0.25, (direction, loss)

@@ -1,0 +1,110 @@
+"""Figure 13: relative application performance on both platforms.
+
+Redis, Memcached, MySQL, and GCC trap mixes run under the three
+deployments on the VisionFive 2 and the Premier P550.  Paper shape:
+
+* Miralis at or marginally above native everywhere (network-heavy apps
+  gain up to 7.6% on the VF2 from the faster fast path);
+* no-offload degrades with trap intensity — worst on Redis/Memcached
+  (up to 259% overhead on the P550), mild on GCC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.runner import compare_configurations
+from repro.bench.stats import relative
+from repro.bench.tables import render_table
+from repro.os_model.workloads import APPLICATION_MIXES
+from repro.spec.platform import PREMIER_P550, VISIONFIVE2
+
+OPERATIONS = 200
+
+
+def run_matrix():
+    results = {}
+    for platform in (VISIONFIVE2, PREMIER_P550):
+        for app, mix in APPLICATION_MIXES.items():
+            runs = compare_configurations(platform, mix,
+                                          operations=OPERATIONS)
+            native = runs["native"].throughput
+            results[(platform.name, app)] = {
+                "miralis": relative(runs["miralis"].throughput, native),
+                "no-offload": relative(
+                    runs["miralis-no-offload"].throughput, native
+                ),
+                "trap_rate": runs["native"].trap_rate,
+                "world_switch_rate": runs["miralis"].world_switch_rate,
+            }
+    return results
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {}
+
+
+def test_figure13_applications(benchmark, show, matrix):
+    matrix.update(once(benchmark, run_matrix))
+    rows = [
+        (
+            platform, app,
+            f"{values['miralis']:.3f}",
+            f"{values['no-offload']:.3f}",
+            f"{values['trap_rate'] / 1000:.0f}k/s",
+        )
+        for (platform, app), values in sorted(matrix.items())
+    ]
+    show(render_table(
+        "Figure 13: relative application performance (native = 1.000)",
+        ("platform", "application", "miralis", "no-offload", "trap rate"),
+        rows,
+    ))
+    for (platform, app), values in matrix.items():
+        # Q2: Miralis never loses to native; gains are single-digit percent.
+        assert 0.995 <= values["miralis"] <= 1.15, (platform, app)
+        # No-offload always degrades.
+        assert values["no-offload"] < 1.0, (platform, app)
+
+    # Network apps gain the most under Miralis (paper: up to 7.6% Redis).
+    def gain(platform, app):
+        return matrix[(platform, app)]["miralis"]
+
+    assert gain("visionfive2", "redis") >= gain("visionfive2", "gcc")
+
+    # No-offload overhead ordering follows trap intensity: Redis and
+    # Memcached suffer far more than GCC (paper: up to 259% vs mild).
+    def loss(platform, app):
+        return 1 / matrix[(platform, app)]["no-offload"] - 1
+
+    for platform in ("visionfive2", "premier-p550"):
+        assert loss(platform, "redis") > 3 * loss(platform, "gcc")
+        assert loss(platform, "memcached") > 3 * loss(platform, "gcc")
+        assert loss(platform, "gcc") < 0.10
+
+    # The paper's headline: Redis on the P550 shows the largest no-offload
+    # overhead (259% there); ours must exceed 50% and beat the VF2's GCC.
+    assert loss("premier-p550", "redis") > 0.5
+
+
+def test_figure13_world_switch_scarcity(benchmark, show, matrix):
+    """§8.3.3: ~0.5 world switches/s on the VF2 under offload."""
+    def fill():
+        if not matrix:
+            matrix.update(run_matrix())
+        return {
+            key: values["world_switch_rate"] for key, values in matrix.items()
+        }
+
+    rates = once(benchmark, fill)
+    rows = [(p, a, f"{rate:.2f}/s") for (p, a), rate in sorted(rates.items())]
+    show(render_table(
+        "Figure 13 aside: world switches per second under Miralis "
+        "(paper: 0.486/s VF2 average, none on the P550)",
+        ("platform", "application", "world switches"), rows,
+    ))
+    for (platform, app), rate in rates.items():
+        # Thousands of times below the trap rates; effectively negligible.
+        assert rate < 200, (platform, app, rate)

@@ -1,0 +1,107 @@
+"""Figure 14: RV8 benchmarks inside Keystone enclaves on Miralis.
+
+Reproduces the paper's §8.4 experiment: the RV8 suite runs once directly
+on the OS and once inside an enclave managed by the Keystone policy
+module.  Paper result: ~1% average enclave overhead, in line with the
+original Keystone paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.stats import geomean, relative
+from repro.bench.tables import render_table
+from repro.os_model.workloads import RV8_SUITE
+from repro.policy.keystone import (
+    ENCLAVE_INTERRUPTED,
+    EXT_KEYSTONE,
+    EnclaveApp,
+    FN_CREATE_ENCLAVE,
+    FN_DESTROY_ENCLAVE,
+    FN_RESUME_ENCLAVE,
+    FN_RUN_ENCLAVE,
+    KeystonePolicy,
+)
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized, memory_regions
+
+#: Each RV8 entry runs this many compute blocks of its per-block size.
+BLOCKS = 40
+
+
+def make_rv8_workload(block_instructions):
+    def workload(app, ctx):
+        while app.progress < BLOCKS:
+            ctx.compute(block_instructions)
+            app.progress += 1
+        return 0
+
+    return workload
+
+
+def run_rv8(app_name, block_instructions):
+    """Returns (native_cycles, enclave_cycles) for one RV8 benchmark."""
+    measurements = {}
+
+    def workload(kernel, ctx):
+        machine = kernel.machine
+        # Direct run on the OS.
+        start = machine.cycles
+        for _ in range(BLOCKS):
+            ctx.compute(block_instructions)
+        measurements["native"] = machine.cycles - start
+        # Enclave run, with the scheduler tick armed (the interruption /
+        # resume cycle is the enclave overhead source).
+        base = memory_regions(VISIONFIVE2)["enclave"].base
+        _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+        kernel.arm_timer_tick(ctx)
+        start = machine.cycles
+        error, _value = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+        while error == ENCLAVE_INTERRUPTED:
+            kernel.arm_timer_tick(ctx)
+            error, _value = kernel.sbi_call(
+                ctx, EXT_KEYSTONE, FN_RESUME_ENCLAVE, eid
+            )
+        measurements["enclave"] = machine.cycles - start
+        measurements["interrupts"] = policy.enclaves[eid].interrupts_taken
+        kernel.sbi_call(ctx, EXT_KEYSTONE, FN_DESTROY_ENCLAVE, eid)
+
+    policy = KeystonePolicy()
+    system = build_virtualized(VISIONFIVE2, workload=workload, policy=policy)
+    regions = memory_regions(VISIONFIVE2)
+    app = EnclaveApp(app_name, regions["enclave"], system.machine,
+                     make_rv8_workload(block_instructions))
+    policy.register_app(app)
+    system.run()
+    return measurements
+
+
+def run_suite():
+    return {
+        name: run_rv8(name, block_instructions)
+        for name, block_instructions in RV8_SUITE.items()
+    }
+
+
+def test_figure14_keystone_rv8(benchmark, show):
+    suite = once(benchmark, run_suite)
+    rows = []
+    relatives = []
+    for name, m in sorted(suite.items()):
+        rel = relative(m["native"], m["enclave"])  # higher is better
+        relatives.append(rel)
+        rows.append((name, f"{rel:.3f}", m["interrupts"]))
+    rows.append(("geomean", f"{geomean(relatives):.3f}", ""))
+    show(render_table(
+        "Figure 14: RV8 relative performance inside Keystone enclaves "
+        "(native = 1.000; paper: ~1% average overhead)",
+        ("benchmark", "relative perf", "enclave interrupts"), rows,
+    ))
+    average = geomean(relatives)
+    # ~1% average overhead, never more than a few percent per benchmark.
+    assert 0.93 <= average <= 1.001, average
+    for name, m in suite.items():
+        rel = relative(m["native"], m["enclave"])
+        assert rel > 0.88, (name, rel)

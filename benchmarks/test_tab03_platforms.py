@@ -1,0 +1,42 @@
+"""Table 3: characteristics of the evaluation platforms."""
+
+from benchmarks.conftest import once
+from repro.bench.tables import render_table
+from repro.spec.platform import PREMIER_P550, VISIONFIVE2
+
+PAPER = {
+    "visionfive2": {"cores": 4, "frequency": "1.5GHz", "ram": "4GB",
+                    "kernel": "5.15"},
+    "premier-p550": {"cores": 4, "frequency": "1.8GHz", "ram": "16GB",
+                     "kernel": "6.6"},
+}
+
+
+def test_table3_platforms(benchmark, show):
+    def gather():
+        return [
+            (
+                config.name,
+                config.num_harts,
+                f"{config.frequency_hz / 1e9:.1f}GHz",
+                f"{config.ram_bytes // (1024 ** 3)}GB",
+                config.pmp_count,
+                "yes" if config.has_h_extension else "no",
+                "yes" if config.has_hw_misaligned else "no",
+            )
+            for config in (VISIONFIVE2, PREMIER_P550)
+        ]
+
+    rows = once(benchmark, gather)
+    show(render_table(
+        "Table 3: evaluation platforms",
+        ("platform", "cores", "frequency", "RAM", "PMP entries", "H ext",
+         "hw misaligned"),
+        rows,
+    ))
+    vf2, p550 = rows
+    assert vf2[1] == PAPER["visionfive2"]["cores"]
+    assert vf2[2] == PAPER["visionfive2"]["frequency"]
+    assert vf2[3] == PAPER["visionfive2"]["ram"]
+    assert p550[2] == PAPER["premier-p550"]["frequency"]
+    assert p550[3] == PAPER["premier-p550"]["ram"]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Lightweight formal methods in action (§6).
+
+Demonstrates the faithful-emulation pipeline: the monitor's emulator is
+checked against the executable ISA specification over enumerated state and
+instruction spaces (Definition 1), then one of the paper's historical bug
+classes (§6.5) is re-introduced and the checker catches it — showing the
+harness is not vacuous.
+
+Run:  python examples/verification_demo.py
+"""
+
+from repro.core import bugs
+from repro.isa import constants as c
+from repro.isa.instructions import Instruction
+from repro.spec.csrs import known_csr_addresses
+from repro.spec.platform import VISIONFIVE2
+from repro.verif import (
+    StateDescription,
+    csr_instruction_space,
+    csr_value_space,
+    run_emulation_check,
+    run_interrupt_check,
+    system_instruction_space,
+    virtual_platform,
+)
+
+
+def main():
+    # Definition 1's "∃c": the reference machine runs the *virtual*
+    # platform configuration (fewer PMP entries, hard-wired mideleg).
+    platform = virtual_platform(VISIONFIVE2, virtual_pmp_count=4)
+    csrs = known_csr_addresses(platform)
+    print(f"virtual platform: {len(csrs)} CSRs, "
+          f"{platform.pmp_count} virtual PMP entries")
+
+    descriptions = [
+        StateDescription(gprs=[0] + [value] * 31)
+        for value in csr_value_space(samples=8)[:32]
+    ]
+    instructions = list(csr_instruction_space(csrs))
+    instructions += list(system_instruction_space())
+    print(f"input space: {len(descriptions)} machine states x "
+          f"{len(instructions)} privileged instructions")
+
+    print("\n--- faithful emulation (Definition 1) ---")
+    report = run_emulation_check(platform, descriptions, instructions,
+                                 task="faithful-emulation")
+    print(report.summary())
+
+    print("\n--- virtual interrupt delivery ---")
+    print(run_interrupt_check(platform).summary())
+
+    print("\n--- re-introducing a §6.5 bug: reserved W=1/R=0 accepted ---")
+    hostile = [StateDescription(gprs=[0] + [0x1A] * 31)]
+    pmp_write = [Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_PMPCFG0)]
+    with bugs.seeded("pmp_w_without_r"):
+        buggy = run_emulation_check(platform, hostile, pmp_write,
+                                    task="seeded-pmp-bug")
+    print(buggy.summary())
+    print("first divergence:", buggy.first_failures(1))
+    assert not buggy.passed, "the checker must catch the seeded bug"
+
+    print("\n--- same inputs, bug removed ---")
+    clean = run_emulation_check(platform, hostile, pmp_write, task="clean")
+    print(clean.summary())
+    print("\nThe emulator provably matches the specification on this space,")
+    print("and the harness demonstrably catches the paper's bug classes.")
+
+
+if __name__ == "__main__":
+    main()

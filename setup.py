@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows `pip install -e . --no-use-pep517 --no-build-isolation` in offline
+environments whose setuptools lacks the `wheel` package that PEP 517
+editable installs require.  Normal installs use pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a Python reproduction of "The Design and Implementation of a
+Virtual Firmware Monitor" (Miralis, SOSP 2025).
+
+The package builds a complete simulated RISC-V platform — an executable
+privileged-ISA specification, a hart/machine simulator, SBI firmware
+models — and on top of it the paper's contribution: the Miralis virtual
+firmware monitor with fast-path offloading, three isolation policies
+(sandbox, Keystone enclaves, ACE confidential VMs), and a lightweight
+formal-methods harness checking faithful emulation and execution against
+the specification.
+
+Quickstart::
+
+    from repro import build_virtualized, VISIONFIVE2
+    from repro.policy import FirmwareSandboxPolicy
+
+    def workload(kernel, ctx):
+        print("time =", kernel.read_time(ctx))
+
+    system = build_virtualized(VISIONFIVE2, workload=workload,
+                               policy=FirmwareSandboxPolicy())
+    system.run()
+"""
+
+from repro.core import Miralis, MiralisConfig
+from repro.spec.platform import (
+    PLATFORMS,
+    PREMIER_P550,
+    QEMU_VIRT,
+    RVA23_MACHINE,
+    VISIONFIVE2,
+    PlatformConfig,
+)
+from repro.system import (
+    System,
+    build_native,
+    build_virtualized,
+    memory_regions,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Miralis",
+    "MiralisConfig",
+    "PLATFORMS",
+    "PREMIER_P550",
+    "PlatformConfig",
+    "QEMU_VIRT",
+    "RVA23_MACHINE",
+    "System",
+    "VISIONFIVE2",
+    "__version__",
+    "build_native",
+    "build_virtualized",
+    "memory_regions",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: runners, statistics, and table rendering."""
+
+from repro.bench.runner import (
+    CONFIGURATIONS,
+    RunMeasurement,
+    build_system,
+    compare_configurations,
+    run_workload,
+)
+from repro.bench.stats import (
+    geomean,
+    latency_distribution,
+    mean,
+    overhead_percent,
+    percentile,
+    relative,
+)
+from repro.bench.tables import format_ns, render_series, render_table
+
+__all__ = [
+    "CONFIGURATIONS",
+    "RunMeasurement",
+    "build_system",
+    "compare_configurations",
+    "format_ns",
+    "geomean",
+    "latency_distribution",
+    "mean",
+    "overhead_percent",
+    "percentile",
+    "relative",
+    "render_series",
+    "render_table",
+    "run_workload",
+]

@@ -1,0 +1,53 @@
+"""Statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if p <= 0:
+        return ordered[0]
+    if p >= 100:
+        return ordered[-1]
+    rank = max(1, math.ceil(p / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def latency_distribution(values: Sequence[float],
+                         points=(50, 90, 95, 99, 99.9)) -> dict[float, float]:
+    """The percentile series Figure 12 plots."""
+    return {p: percentile(values, p) for p in points}
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative(value: float, baseline: float) -> float:
+    """value / baseline — the 'relative performance' of Figures 10/13/14."""
+    if baseline == 0:
+        raise ValueError("zero baseline")
+    return value / baseline
+
+
+def overhead_percent(value: float, baseline: float) -> float:
+    """Slowdown of ``value`` versus ``baseline`` in percent (time-like)."""
+    if baseline == 0:
+        raise ValueError("zero baseline")
+    return (value / baseline - 1.0) * 100.0

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``boot`` — assemble and boot a deployment, print trap statistics.
+* ``attack`` — run one of the adversarial-firmware attacks natively or
+  under the sandbox, and report containment.
+* ``verify`` — run the §6 verification tasks and print the report.
+* ``fuzz`` — run a native-vs-virtualized differential fuzzing campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.spec.platform import PLATFORMS, VISIONFIVE2
+
+
+def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform", choices=sorted(PLATFORMS), default="visionfive2",
+        help="simulated platform (default: visionfive2)",
+    )
+
+
+def _demo_workload(kernel, ctx):
+    t0 = kernel.read_time(ctx)
+    kernel.print(ctx, f"[kernel] up at time={t0}\n")
+    ctx.compute(20_000)
+    kernel.sbi_send_ipi(ctx, 0b1, 0)
+    ctx.compute(100)
+    kernel.print(ctx, f"[kernel] time={kernel.read_time(ctx)} "
+                      f"ssi={kernel.software_interrupts}\n")
+
+
+def command_boot(args: argparse.Namespace) -> int:
+    from repro.system import build_native, build_virtualized
+    from repro.policy import DefaultPolicy, FirmwareSandboxPolicy
+
+    platform = PLATFORMS[args.platform]
+    if args.native:
+        system = build_native(platform, workload=_demo_workload)
+    else:
+        policy = (
+            FirmwareSandboxPolicy(
+                extra_allowed_regions=[(platform.uart_base, 0x100)]
+            )
+            if args.policy == "sandbox"
+            else DefaultPolicy()
+        )
+        system = build_virtualized(
+            platform, workload=_demo_workload, policy=policy,
+            offload=not args.no_offload,
+        )
+    reason = system.run()
+    print(system.console_output)
+    print(f"halt:             {reason}")
+    stats = system.machine.stats
+    print(f"traps to M-mode:  {stats.total_traps}")
+    print(f"simulated time:   {system.machine.elapsed_seconds * 1000:.3f} ms")
+    if system.virtualized:
+        print(f"world switches:   {stats.world_switches}")
+        print(f"emulated instrs:  {system.miralis.emulation_count}")
+        print(f"fast-path hits:   {dict(system.miralis.offload.hits)}")
+    return 0
+
+
+def command_attack(args: argparse.Namespace) -> int:
+    from repro.firmware.malicious import ATTACKS, MaliciousFirmware, TRIGGER_EID
+    from repro.policy import FirmwareSandboxPolicy
+    from repro.system import build_native, build_virtualized, memory_regions
+
+    if args.list:
+        for attack in ATTACKS:
+            print(attack)
+        return 0
+    platform = PLATFORMS[args.platform]
+    regions = memory_regions(platform)
+    secret = regions["kernel"].base + 0x2000
+
+    def workload(kernel, ctx):
+        ctx.store(secret, 0x5EC12E7, size=8)
+        kernel.sbi_call(ctx, TRIGGER_EID, 0)
+
+    kwargs = dict(
+        firmware_class=MaliciousFirmware,
+        workload=workload,
+        firmware_kwargs={
+            "attack": args.name,
+            "os_secret_address": secret,
+            "monitor_address": regions["miralis"].base + 0x100,
+        },
+    )
+    if args.native:
+        system = build_native(platform, **kwargs)
+    else:
+        system = build_virtualized(
+            platform,
+            policy=FirmwareSandboxPolicy(
+                extra_allowed_regions=[(platform.uart_base, 0x100)]
+            ),
+            offload=False,
+            **kwargs,
+        )
+    reason = system.run()
+    outcome = system.firmware.outcome
+    print(f"deployment: {'native' if args.native else 'miralis+sandbox'}")
+    print(f"attack:     {args.name}")
+    print(f"attempted:  {outcome.attempted}")
+    print(f"succeeded:  {outcome.succeeded}")
+    print(f"note:       {outcome.note}")
+    print(f"halt:       {reason}")
+    return 1 if outcome.succeeded and not args.native else 0
+
+
+def command_verify(args: argparse.Namespace) -> int:
+    from repro.isa.instructions import Instruction
+    from repro.spec.csrs import known_csr_addresses
+    from repro.system import build_virtualized
+    from repro.verif import (
+        StateDescription,
+        csr_instruction_space,
+        csr_value_space,
+        pmp_config_space,
+        run_emulation_check,
+        run_execution_check,
+        run_interrupt_check,
+        system_instruction_space,
+        virtual_platform,
+    )
+
+    platform = virtual_platform(PLATFORMS[args.platform], virtual_pmp_count=4)
+    descriptions = [
+        StateDescription(gprs=[0] + [value] * 31)
+        for value in csr_value_space(samples=4)[: args.states]
+    ]
+    instructions = list(csr_instruction_space(known_csr_addresses(platform)))
+    instructions += list(system_instruction_space())
+    reports = [
+        run_emulation_check(platform, descriptions, instructions,
+                            task="faithful-emulation"),
+        run_interrupt_check(platform),
+    ]
+    system = build_virtualized(PLATFORMS[args.platform])
+    reports.append(run_execution_check(
+        system, pmp_config_space(system.miralis.vpmp.virtual_count)
+    ))
+    failed = False
+    for report in reports:
+        print(report.summary())
+        if not report.passed:
+            failed = True
+            print(report.first_failures())
+    return 1 if failed else 0
+
+
+def command_fuzz(args: argparse.Namespace) -> int:
+    from repro.verif.fuzz import fuzz_campaign
+
+    findings = fuzz_campaign(
+        range(args.start, args.start + args.count),
+        length=args.length,
+        platform=PLATFORMS[args.platform],
+        offload=not args.no_offload,
+    )
+    print(f"{args.count} scenarios, {len(findings)} divergence(s)")
+    for finding in findings:
+        print(" ", finding)
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Virtual firmware monitor reproduction (Miralis, SOSP'25)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", help="boot a deployment and show stats")
+    _add_platform_argument(boot)
+    boot.add_argument("--native", action="store_true",
+                      help="classical deployment (firmware in M-mode)")
+    boot.add_argument("--no-offload", action="store_true",
+                      help="disable fast-path offloading")
+    boot.add_argument("--policy", choices=["default", "sandbox"],
+                      default="sandbox")
+    boot.set_defaults(func=command_boot)
+
+    attack = sub.add_parser("attack", help="run an adversarial firmware")
+    _add_platform_argument(attack)
+    attack.add_argument("name", nargs="?", default="read_os_memory")
+    attack.add_argument("--native", action="store_true")
+    attack.add_argument("--list", action="store_true",
+                        help="list available attacks")
+    attack.set_defaults(func=command_attack)
+
+    verify = sub.add_parser("verify", help="run the §6 verification tasks")
+    _add_platform_argument(verify)
+    verify.add_argument("--states", type=int, default=16,
+                        help="machine states per instruction (default 16)")
+    verify.set_defaults(func=command_verify)
+
+    fuzz = sub.add_parser("fuzz", help="differential fuzzing campaign")
+    _add_platform_argument(fuzz)
+    fuzz.add_argument("--start", type=int, default=0)
+    fuzz.add_argument("--count", type=int, default=20)
+    fuzz.add_argument("--length", type=int, default=30)
+    fuzz.add_argument("--no-offload", action="store_true")
+    fuzz.set_defaults(func=command_fuzz)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

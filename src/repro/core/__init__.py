@@ -1,0 +1,45 @@
+"""Miralis — the virtual firmware monitor (the paper's core contribution)."""
+
+from repro.core import bugs
+from repro.core.config import MiralisConfig, MiralisCosts
+from repro.core.csr_emul import CsrEffect, VirtCsrError, read_csr, write_csr
+from repro.core.emulator import (
+    EmulationResult,
+    VirtualTrapError,
+    emulate_privileged,
+    inject_virtual_trap,
+    virtual_mret,
+    virtual_sret,
+)
+from repro.core.interrupts import pending_virtual_interrupt, refresh_virtual_mip
+from repro.core.miralis import Miralis
+from repro.core.offload import FastPath
+from repro.core.vclint import VirtualClint
+from repro.core.vcpu import VirtContext, World
+from repro.core.vpmp import PmpVirtualizer
+from repro.core.world_switch import WorldSwitcher
+
+__all__ = [
+    "CsrEffect",
+    "EmulationResult",
+    "FastPath",
+    "Miralis",
+    "MiralisConfig",
+    "MiralisCosts",
+    "PmpVirtualizer",
+    "VirtContext",
+    "VirtCsrError",
+    "VirtualClint",
+    "VirtualTrapError",
+    "World",
+    "WorldSwitcher",
+    "bugs",
+    "emulate_privileged",
+    "inject_virtual_trap",
+    "pending_virtual_interrupt",
+    "read_csr",
+    "refresh_virtual_mip",
+    "virtual_mret",
+    "virtual_sret",
+    "write_csr",
+]

@@ -1,0 +1,64 @@
+"""Virtual interrupt handling (§4.1, §4.3).
+
+Miralis virtualizes M-mode interrupts: physical timer and software
+interrupts are intercepted and re-injected into vM-mode when the virtual
+firmware has them pending *and* enabled.  The check runs after each
+emulated trap, because emulation can mask or unmask interrupts (e.g. a
+write to the virtual ``mie``) — the ordering constraint §4.1 calls out and
+whose violation is the "lost virtual interrupt" bug class of §6.5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.vcpu import VirtContext, World
+from repro.isa import constants as c
+
+# Interrupts Miralis virtualizes (M-level; S-level interrupts are
+# hard-delegated to the OS and never reach the monitor).
+_VIRTUALIZED = (c.IRQ_MEI, c.IRQ_MSI, c.IRQ_MTI)
+
+
+def refresh_virtual_mip(vctx: VirtContext, mtime: int, virtual_mtimecmp: int,
+                        msip_level: bool, meip_level: bool = False) -> None:
+    """Recompute the hardware-driven bits of the virtual mip.
+
+    vMTIP follows the *virtual* CLINT comparator, vMSIP the virtual msip
+    register, vMEIP the (virtualized) external line.  The S-level bits are
+    software-writable and left untouched.
+    """
+    mip = vctx.mip
+    if mtime >= virtual_mtimecmp:
+        mip |= c.MIP_MTIP
+    else:
+        mip &= ~c.MIP_MTIP
+    if msip_level:
+        mip |= c.MIP_MSIP
+    else:
+        mip &= ~c.MIP_MSIP
+    if meip_level:
+        mip |= c.MIP_MEIP
+    else:
+        mip &= ~c.MIP_MEIP
+    vctx.mip = mip
+
+
+def pending_virtual_interrupt(vctx: VirtContext, world: World) -> Optional[int]:
+    """The virtual M-level interrupt to inject, or None.
+
+    In vM-mode the virtual mstatus.MIE gates delivery; while the OS runs
+    (virtual mode S/U) M-level virtual interrupts are always deliverable,
+    per the architectural rule that interrupts for a higher privilege
+    level are enabled regardless of the global bit.
+    """
+    ready = vctx.mip & vctx.mie & ~vctx.mideleg
+    if not ready:
+        return None
+    if world == World.FIRMWARE:
+        if not vctx.mstatus & c.MSTATUS_MIE:
+            return None
+    for irq in c.INTERRUPT_PRIORITY:
+        if ready & (1 << irq):
+            return irq
+    return None

@@ -1,0 +1,496 @@
+"""Miralis: the virtual firmware monitor (Figure 4).
+
+Miralis is *host* software — the Python counterpart of the Rust binary —
+installed as the machine's M-mode trap handler.  It executes with
+interrupts disabled and every handler runs to completion.  The trap
+dispatcher routes traps by origin world: traps from vM-mode are emulated,
+traps from the OS are either fast-pathed or re-injected into the
+virtualized firmware via a world switch.  After each trap it checks for
+pending virtual interrupts and returns to the appropriate world.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import bugs
+from repro.core.config import MiralisConfig
+from repro.core.csr_emul import CsrEffect
+from repro.core.emulator import (
+    VirtualTrapError,
+    emulate_privileged,
+    inject_virtual_trap,
+)
+from repro.core.interrupts import pending_virtual_interrupt, refresh_virtual_mip
+from repro.core.offload import FastPath
+from repro.core.vclint import VirtualClint
+from repro.core.vcpu import VirtContext, World
+from repro.core.vpmp import PmpVirtualizer
+from repro.core.world_switch import WorldSwitcher
+from repro.hart.cycles import mtime_to_cycles
+from repro.hart.program import MachineHalted, Region
+from repro.isa import constants as c
+from repro.isa.decoder import decode
+from repro.isa.instructions import IllegalInstructionError
+from repro.policy.interface import PolicyAction
+from repro.sbi.constants import SbiError
+from repro.sbi.types import SbiCall, SbiRet
+
+U64 = (1 << 64) - 1
+
+
+class Miralis:
+    """The virtual firmware monitor."""
+
+    name = "miralis"
+
+    def __init__(self, machine, region: Region, firmware, config: MiralisConfig,
+                 policy):
+        self.machine = machine
+        self.region = region
+        self.firmware = firmware
+        self.config = config
+        self.policy = policy
+        num_harts = machine.config.num_harts
+        self.vctx = [VirtContext(machine.config, hartid=i) for i in range(num_harts)]
+        self.world = [World.FIRMWARE] * num_harts
+        self.vclint = VirtualClint(machine)
+        self.vpmp = PmpVirtualizer(
+            machine, region, config, policy.num_pmp_entries()
+        )
+        for vctx in self.vctx:
+            vctx.virtual_pmp_count = self.vpmp.virtual_count
+        self.switcher = WorldSwitcher(self)
+        self.offload = FastPath(self)
+        self.emulation_count = 0
+        self.violations: list[str] = []
+        self._booted = [False] * num_harts
+        self._policy_initialized = False
+        machine.hart_start_hook = self._start_hart_in_os
+
+    # ------------------------------------------------------------------
+    # Host-work accounting
+    # ------------------------------------------------------------------
+
+    def _charge_host(self, hart, cycles: float) -> None:
+        """Charge Miralis host instructions, scaled by core throughput."""
+        hart.charge(cycles * hart.cycle_model.instruction)
+
+    # ------------------------------------------------------------------
+    # Entry point (machine dispatch lands here when pc is in our region)
+    # ------------------------------------------------------------------
+
+    def handle(self, machine, hart) -> None:
+        if not self._booted[hart.hartid]:
+            self._boot_hart(hart)
+            return
+        self._handle_trap(hart)
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def _boot_hart(self, hart) -> None:
+        """First entry on a hart: take control of M-mode, enter vM-mode.
+
+        Per Figure 9, Miralis is inserted between the two firmware stages:
+        it configures the physical trap vector and memory protection, then
+        starts the second-stage firmware fully deprivileged.
+        """
+        if not self._policy_initialized:
+            self.policy.init(self, self.machine)
+            self._policy_initialized = True
+        vctx = self.vctx[hart.hartid]
+        csr_file = hart.state.csr
+        csr_file.mtvec = self.region.base
+        csr_file.medeleg = 0
+        csr_file.mideleg = 0
+        csr_file.mie = c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP
+        self.vpmp.install(hart, vctx, World.FIRMWARE, self.policy)
+        self.world[hart.hartid] = World.FIRMWARE
+        self._booted[hart.hartid] = True
+        self._charge_host(hart, 2_000)  # monitor bring-up
+        hart.state.mode = c.U_MODE
+        hart.state.pc = self.firmware.entry_point
+        hart.charge(hart.cycle_model.xret)
+
+    def _start_hart_in_os(self, hartid: int, start_addr: int, opaque: int) -> None:
+        """HSM hart_start under virtualization: boot the hart straight to OS."""
+        hart = self.machine.harts[hartid]
+        boot_vctx = self.vctx[0]
+        vctx = self.vctx[hartid]
+        vctx.medeleg = boot_vctx.medeleg
+        vctx.mtvec = boot_vctx.mtvec
+        vctx.mie = boot_vctx.mie
+        vctx.virtual_mode = c.S_MODE
+        csr_file = hart.state.csr
+        csr_file.mtvec = self.region.base
+        csr_file.mie = c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP
+        self._booted[hartid] = True
+        self.switcher.enter_os(hart, vctx, c.S_MODE)
+        hart.state.pc = start_addr
+        hart.state.set_xreg(10, hartid)
+        hart.state.set_xreg(11, opaque)
+
+    # ------------------------------------------------------------------
+    # Trap dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_trap(self, hart) -> None:
+        vctx = self.vctx[hart.hartid]
+        costs = self.config.costs
+        model = hart.cycle_model
+        csr_file = hart.state.csr
+        self._charge_host(hart, costs.dispatch)
+        hart.charge(3 * model.csr_access)  # mcause/mepc/mtval reads
+        mcause = csr_file.mcause
+        mepc = csr_file.mepc
+        mtval = csr_file.read(c.CSR_MTVAL)
+        code = mcause & ~c.INTERRUPT_BIT
+
+        if mcause & c.INTERRUPT_BIT:
+            self._handle_physical_interrupt(hart, vctx, code, mepc)
+        elif self.world[hart.hartid] == World.FIRMWARE:
+            self._handle_firmware_trap(hart, vctx, code, mepc, mtval)
+        else:
+            self._handle_os_trap(hart, vctx, code, mepc, mtval)
+
+        # §4.1: the virtual-interrupt check must run AFTER emulation, as
+        # the handled trap may have masked or unmasked interrupts.
+        if not bugs.is_active("interrupt_loss"):
+            self._check_virtual_interrupts(hart, vctx)
+        self._sync_physical_mie(hart, vctx)
+        if self.world[hart.hartid] == World.FIRMWARE:
+            # Resume the virtualized firmware deprivileged: vM-mode is
+            # physical U-mode, always.
+            hart.state.mode = c.U_MODE
+        elif hart.state.mode == c.M_MODE:
+            # Fast-path or policy-handled trap: drop back to the OS.
+            self._return_to_os(hart)
+        hart.charge(model.xret)
+
+    # ------------------------------------------------------------------
+    # Traps from the virtualized firmware
+    # ------------------------------------------------------------------
+
+    def _handle_firmware_trap(self, hart, vctx, code, mepc, mtval) -> None:
+        from repro.spec.traps import Trap
+
+        costs = self.config.costs
+        if code == c.TrapCause.ILLEGAL_INSTRUCTION:
+            self._emulate_firmware_instruction(hart, vctx, mepc, mtval)
+            return
+        if code == c.TrapCause.ECALL_FROM_U:
+            self.machine.stats.annotate_last("miralis-emulate", detail="vm-ecall")
+            action = self.policy.on_firmware_ecall(hart, vctx)
+            if action == PolicyAction.DENY:
+                self._violation(hart, "firmware ecall denied by policy")
+                return
+            if action == PolicyAction.HANDLED:
+                hart.state.pc = (mepc + 4) & U64
+                return
+            hart.state.pc = inject_virtual_trap(
+                vctx, c.TrapCause.ECALL_FROM_M, False, 0, mepc
+            )
+            self._charge_host(hart, costs.inject)
+            return
+        if code in (c.TrapCause.LOAD_ACCESS_FAULT, c.TrapCause.STORE_ACCESS_FAULT):
+            self._handle_firmware_memory_fault(hart, vctx, code, mepc, mtval)
+            return
+        # Everything else (misaligned accesses on the firmware's own data,
+        # breakpoints, ...) is re-injected into vM-mode.
+        trap = Trap(code, tval=mtval)
+        action = self.policy.on_firmware_trap(hart, vctx, trap)
+        self.machine.stats.annotate_last("miralis-emulate", detail=f"vm-reinject:{code}")
+        if action == PolicyAction.DENY:
+            self._violation(hart, f"firmware trap {code} denied by policy")
+            return
+        if action == PolicyAction.HANDLED:
+            return
+        hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+        self._charge_host(hart, costs.inject)
+
+    def _emulate_firmware_instruction(self, hart, vctx, mepc, mtval) -> None:
+        costs = self.config.costs
+        try:
+            instr = decode(mtval)
+        except IllegalInstructionError:
+            instr = None
+        self.machine.stats.annotate_last(
+            "miralis-emulate",
+            detail=f"emulate:{instr.mnemonic}" if instr else "emulate:invalid",
+        )
+        self.machine.stats.note_firmware_emulation()
+        self.emulation_count += 1
+        self._charge_host(hart, costs.emulate_instruction)
+        if instr is None:
+            hart.state.pc = inject_virtual_trap(
+                vctx, c.TrapCause.ILLEGAL_INSTRUCTION, False, mtval, mepc
+            )
+            return
+        try:
+            result = emulate_privileged(
+                vctx,
+                instr,
+                trapped_pc=mepc,
+                gpr_read=hart.state.get_xreg,
+                gpr_write=hart.state.set_xreg,
+                mtime=self.machine.read_mtime(),
+            )
+        except VirtualTrapError as exc:
+            hart.state.pc = inject_virtual_trap(
+                vctx, exc.cause, False, exc.tval, mepc
+            )
+            self._charge_host(hart, costs.inject)
+            return
+        if result.effects & CsrEffect.PMP:
+            writes = self.vpmp.install(hart, vctx, World.FIRMWARE, self.policy)
+            hart.charge(writes * hart.cycle_model.csr_access)
+        if result.is_fence:
+            hart.charge(hart.cycle_model.memory_fence)
+        if result.world_switch:
+            action = self.policy.on_switch_from_firmware(hart, vctx)
+            if action == PolicyAction.DENY:
+                self._violation(hart, "world switch to OS denied by policy")
+                return
+            self.switcher.enter_os(hart, vctx, result.new_virtual_mode)
+            hart.state.pc = result.next_pc
+            return
+        if result.is_wfi:
+            self._firmware_wfi(hart, vctx)
+        hart.state.pc = result.next_pc
+
+    def _handle_firmware_memory_fault(self, hart, vctx, code, mepc, mtval) -> None:
+        from repro.spec.traps import Trap
+
+        costs = self.config.costs
+        if self.vclint.contains(mtval):
+            try:
+                instr = decode(self.machine.ram.read(mepc, 4))
+            except IllegalInstructionError:
+                instr = None
+            if instr is not None and (instr.is_load or instr.is_store):
+                self.machine.stats.annotate_last(
+                    "miralis-emulate", detail="vclint"
+                )
+                try:
+                    self.vclint.emulate_access(hart, instr, mtval)
+                except ValueError:
+                    hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+                    return
+                self._charge_host(hart, costs.vclint_access)
+                hart.state.pc = (mepc + 4) & U64
+                return
+        if self.region.contains(mtval):
+            self._violation(
+                hart, f"firmware accessed monitor memory at {mtval:#x}"
+            )
+            return
+        trap = Trap(code, tval=mtval)
+        action = self.policy.on_firmware_trap(hart, vctx, trap)
+        if action == PolicyAction.DENY:
+            self._violation(
+                hart,
+                f"firmware memory access to {mtval:#x} denied by policy "
+                f"({self.policy.name})",
+            )
+            return
+        if action == PolicyAction.HANDLED:
+            return
+        self.machine.stats.annotate_last("miralis-emulate", detail="vm-fault")
+        hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+        self._charge_host(hart, costs.inject)
+
+    def _firmware_wfi(self, hart, vctx) -> None:
+        """Emulate WFI from vM-mode: wait until a virtual interrupt pends."""
+        for _ in range(64):
+            self._refresh_vmip(hart, vctx)
+            if vctx.mip & vctx.mie:
+                return
+            deadline = min(
+                self.vclint.mtimecmp[hart.hartid],
+                self.vclint.monitor_mtimecmp[hart.hartid],
+            )
+            now = self.machine.read_mtime()
+            if deadline == U64 or deadline <= now:
+                break
+            self.machine.charge(
+                mtime_to_cycles(deadline - now + 1, self.machine.config.frequency_hz)
+            )
+        else:
+            return
+        self._refresh_vmip(hart, vctx)
+        if not vctx.mip & vctx.mie:
+            self.machine.halt(
+                "miralis: virtual firmware waits for interrupt with no "
+                "wakeup source armed"
+            )
+            raise MachineHalted(self.machine.halt_reason)
+
+    # ------------------------------------------------------------------
+    # Traps from the OS (direct world)
+    # ------------------------------------------------------------------
+
+    def _handle_os_trap(self, hart, vctx, code, mepc, mtval) -> None:
+        from repro.spec.traps import Trap
+
+        if code == c.TrapCause.ECALL_FROM_S:
+            call = SbiCall.from_regs(hart.state.xregs)
+            action = self.policy.on_os_ecall(hart, vctx, call)
+            if action == PolicyAction.DENY:
+                error, _ = SbiRet.failure(SbiError.ERR_DENIED).to_u64()
+                hart.state.set_xreg(10, error)
+                hart.state.pc = (mepc + 4) & U64
+                return
+            if action == PolicyAction.HANDLED:
+                if self.region.contains(hart.state.pc):
+                    # The policy did not redirect control: default return
+                    # past the ecall (it may have set a0/a1 results).
+                    hart.state.pc = (mepc + 4) & U64
+                return
+        else:
+            action = self.policy.on_os_trap(hart, vctx, Trap(code, tval=mtval))
+            if action == PolicyAction.HANDLED:
+                if self.region.contains(hart.state.pc):
+                    # The policy consumed the trap without redirecting:
+                    # resume the OS at the faulting instruction.
+                    hart.state.pc = mepc
+                return
+            if action == PolicyAction.DENY:
+                self._violation(hart, f"OS trap {code} denied by policy")
+                return
+
+        if self.config.offload_enabled and self.offload.try_handle_exception(
+            hart, vctx, code
+        ):
+            self._return_to_os(hart)
+            return
+        # Slow path: world switch into the virtualized firmware.
+        self._enter_firmware_with_trap(hart, vctx, code, False, mtval, mepc)
+
+    def _enter_firmware_with_trap(self, hart, vctx, code, is_interrupt, mtval,
+                                  mepc) -> None:
+        action = self.policy.on_switch_from_os(hart, vctx)
+        if action == PolicyAction.DENY:
+            self._violation(hart, "world switch to firmware denied by policy")
+            return
+        self.machine.stats.annotate_last(
+            "miralis-worldswitch",
+            detail=f"reinject:{'irq' if is_interrupt else 'exc'}:{code}",
+        )
+        self.switcher.enter_firmware(hart, vctx)
+        self._refresh_vmip(hart, vctx)
+        hart.state.pc = inject_virtual_trap(vctx, code, is_interrupt, mtval, mepc)
+        hart.state.mode = c.U_MODE
+        self._charge_host(hart, self.config.costs.inject)
+
+    def _return_to_os(self, hart) -> None:
+        """Resume direct execution after a fast-path handler (mret)."""
+        from repro.isa.bits import get_field
+
+        previous = get_field(hart.state.csr.mstatus, c.MSTATUS_MPP)
+        hart.state.mode = c.PrivilegeLevel(previous if previous != 3 else 1)
+
+    # ------------------------------------------------------------------
+    # Physical interrupts
+    # ------------------------------------------------------------------
+
+    def _handle_physical_interrupt(self, hart, vctx, irq, mepc) -> None:
+        action = self.policy.on_interrupt(hart, vctx, irq)
+        if action == PolicyAction.HANDLED:
+            return
+        in_os = self.world[hart.hartid] == World.OS
+        if in_os and self.config.offload_enabled and self.offload.try_handle_interrupt(
+            hart, vctx, irq
+        ):
+            hart.state.pc = mepc
+            self._return_to_os(hart)
+            return
+        # Interrupt for the virtual firmware: refresh the virtual mip and
+        # let the post-trap check inject it (possibly via a world switch).
+        self._refresh_vmip(hart, vctx)
+        self.machine.stats.annotate_last("miralis", detail=f"virq:{irq}")
+        if not in_os:
+            hart.state.pc = mepc  # resume vM; injection handled below
+            return
+        virtual = pending_virtual_interrupt(vctx, World.OS)
+        if virtual is None:
+            # Spurious for the firmware (e.g. masked virtually): drop back
+            # to the OS; _sync_physical_mie prevents an interrupt storm.
+            hart.state.pc = mepc
+            self._return_to_os(hart)
+            return
+        self._enter_firmware_with_trap(hart, vctx, virtual, True, 0, mepc)
+
+    # ------------------------------------------------------------------
+    # Virtual interrupts
+    # ------------------------------------------------------------------
+
+    def _refresh_vmip(self, hart, vctx) -> None:
+        refresh_virtual_mip(
+            vctx,
+            mtime=self.machine.read_mtime(),
+            virtual_mtimecmp=self.vclint.mtimecmp[hart.hartid],
+            msip_level=self.vclint.virtual_msip(hart.hartid),
+        )
+
+    def _check_virtual_interrupts(self, hart, vctx) -> None:
+        self._charge_host(hart, self.config.costs.interrupt_check)
+        if self.world[hart.hartid] != World.FIRMWARE:
+            return
+        self._refresh_vmip(hart, vctx)
+        irq = pending_virtual_interrupt(vctx, World.FIRMWARE)
+        if irq is None:
+            return
+        hart.state.pc = inject_virtual_trap(
+            vctx, irq, True, 0, hart.state.pc
+        )
+        self._charge_host(hart, self.config.costs.inject)
+
+    def _sync_physical_mie(self, hart, vctx) -> None:
+        """Keep physical M-level interrupt enables consistent.
+
+        A physical M interrupt whose virtual counterpart is masked must not
+        re-trap immediately (interrupt storm); enable each M-level source
+        only when the firmware enabled it virtually or the monitor itself
+        needs it (offloaded timer/IPIs).
+        """
+        csr_file = hart.state.csr
+        m_bits = 0
+        if self.world[hart.hartid] == World.FIRMWARE:
+            # While vM-mode runs, a physical M interrupt is only useful if
+            # its virtual injection is currently possible; otherwise it
+            # stays pending and is injected when the firmware unmasks it
+            # (the post-emulation check) or the world switches.
+            deliverable = vctx.mie if vctx.mstatus & c.MSTATUS_MIE else 0
+            m_bits = deliverable & (c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP)
+        else:
+            if vctx.mie & c.MIP_MTIP or self.offload.timer_armed[hart.hartid]:
+                m_bits |= c.MIP_MTIP
+            if vctx.mie & c.MIP_MSIP or self.config.offload_enabled:
+                m_bits |= c.MIP_MSIP
+            if vctx.mie & c.MIP_MEIP:
+                m_bits |= c.MIP_MEIP
+        csr_file.mie = (csr_file.mie & c.SIP_MASK) | m_bits
+
+    # ------------------------------------------------------------------
+    # Violations
+    # ------------------------------------------------------------------
+
+    def _violation(self, hart, message: str) -> None:
+        self.violations.append(message)
+        self.machine.stats.annotate_last("miralis-violation", detail=message)
+        if self.config.halt_on_violation:
+            self.machine.halt(f"miralis: {message}")
+            raise MachineHalted(self.machine.halt_reason)
+        # Production behaviour (§5.2): "log the invalid action and return
+        # arbitrary values" — neutralize the instruction and feed a blocked
+        # load a constant, so nothing real leaks.
+        mepc = hart.state.csr.mepc
+        try:
+            instr = decode(self.machine.ram.read(mepc, 4))
+            if instr.is_load:
+                hart.state.set_xreg(instr.rd, 0)
+        except Exception:
+            pass
+        hart.state.pc = (mepc + 4) & U64

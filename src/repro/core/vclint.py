@@ -1,0 +1,145 @@
+"""Virtual CLINT (§4.3).
+
+The CLINT is the one MMIO device the monitor must emulate: the firmware
+uses it for the machine timer and IPIs.  A physical PMP entry blocks the
+CLINT region in vM-mode, so firmware accesses fault into Miralis, which
+dispatches them here.
+
+The virtual CLINT multiplexes the timer between the monitor and the
+virtual firmware: the virtual ``mtimecmp`` is shadowed and the physical
+comparator is programmed to the earliest relevant deadline, so the
+physical timer interrupt arrives in Miralis, which then injects a virtual
+MTI if the *virtual* deadline passed.  ``msip`` writes pass through —
+a software interrupt for another hart must really interrupt that hart,
+whose own monitor instance virtualizes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hart import clint as clint_regs
+from repro.isa import constants as c
+from repro.isa.instructions import Instruction
+
+U64 = (1 << 64) - 1
+
+
+class VirtualClint:
+    """Shadow CLINT state plus the physical-timer multiplexing logic."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.clint = machine.clint
+        num_harts = machine.config.num_harts
+        #: The deadlines the *virtual firmware* programmed.
+        self.mtimecmp = [U64] * num_harts
+        #: Deadlines armed by the monitor itself (fast-path set_timer).
+        self.monitor_mtimecmp = [U64] * num_harts
+        self.accesses = 0
+
+    # -- timer multiplexing ----------------------------------------------
+
+    def program_physical_timer(self, hartid: int) -> None:
+        """Install the earliest of the virtual and monitor deadlines."""
+        deadline = min(self.mtimecmp[hartid], self.monitor_mtimecmp[hartid])
+        self.clint.write(clint_regs.MTIMECMP_BASE + 8 * hartid, 8, deadline)
+
+    def set_monitor_deadline(self, hartid: int, deadline: int) -> None:
+        self.monitor_mtimecmp[hartid] = deadline & U64
+        self.program_physical_timer(hartid)
+
+    def clear_monitor_deadline(self, hartid: int) -> None:
+        self.set_monitor_deadline(hartid, U64)
+
+    def virtual_mtip(self, hartid: int, mtime: int) -> bool:
+        return mtime >= self.mtimecmp[hartid]
+
+    def virtual_msip(self, hartid: int) -> bool:
+        return bool(self.clint.msip[hartid])
+
+    # -- MMIO emulation -----------------------------------------------------
+
+    def contains(self, address: int) -> bool:
+        return self.clint.base <= address < self.clint.base + self.clint.size
+
+    def emulate_access(
+        self,
+        hart,
+        instr: Instruction,
+        address: int,
+    ) -> Optional[int]:
+        """Emulate a trapped vM-mode access to the CLINT region.
+
+        Returns the loaded value for loads (already written to the
+        firmware's rd), or None for stores.  Raises ``ValueError`` for
+        accesses outside the register map (re-injected as access faults).
+        """
+        self.accesses += 1
+        offset = address - self.clint.base
+        size = instr.memory_size
+        if instr.is_load:
+            value = self._read(offset, size)
+            if instr.mnemonic in ("lb", "lh", "lw") and size < 8:
+                sign = 1 << (size * 8 - 1)
+                if value & sign:
+                    value |= U64 & ~((1 << (size * 8)) - 1)
+            hart.state.set_xreg(instr.rd, value)
+            return value
+        value = hart.state.get_xreg(instr.rs2) & ((1 << (size * 8)) - 1)
+        self._write(offset, size, value, hart.hartid)
+        return None
+
+    def _read(self, offset: int, size: int) -> int:
+        num_harts = self.machine.config.num_harts
+        if offset == clint_regs.MTIME_OFFSET:
+            return self.machine.read_mtime() & ((1 << (size * 8)) - 1)
+        if offset == clint_regs.MTIME_OFFSET + 4 and size == 4:
+            return (self.machine.read_mtime() >> 32) & 0xFFFFFFFF
+        if (
+            clint_regs.MSIP_BASE <= offset < clint_regs.MSIP_BASE + 4 * num_harts
+            and size == 4
+        ):
+            return self.clint.msip[(offset - clint_regs.MSIP_BASE) // 4]
+        if (
+            clint_regs.MTIMECMP_BASE
+            <= offset
+            < clint_regs.MTIMECMP_BASE + 8 * num_harts
+        ):
+            hartid = (offset - clint_regs.MTIMECMP_BASE) // 8
+            value = self.mtimecmp[hartid]
+            if size == 4:
+                if offset % 8 == 4:
+                    return (value >> 32) & 0xFFFFFFFF
+                return value & 0xFFFFFFFF
+            return value
+        raise ValueError(f"bad virtual CLINT read at offset {offset:#x}")
+
+    def _write(self, offset: int, size: int, value: int, from_hart: int) -> None:
+        num_harts = self.machine.config.num_harts
+        if offset == clint_regs.MTIME_OFFSET:
+            return  # writes to mtime ignored, as on the physical device
+        if (
+            clint_regs.MSIP_BASE <= offset < clint_regs.MSIP_BASE + 4 * num_harts
+            and size == 4
+        ):
+            # Pass-through: IPIs must physically reach the target hart.
+            self.clint.write(offset, size, value)
+            return
+        if (
+            clint_regs.MTIMECMP_BASE
+            <= offset
+            < clint_regs.MTIMECMP_BASE + 8 * num_harts
+        ):
+            hartid = (offset - clint_regs.MTIMECMP_BASE) // 8
+            old = self.mtimecmp[hartid]
+            if size == 8:
+                new = value
+            elif offset % 8 == 0:
+                new = (old & ~0xFFFFFFFF) | value
+            else:
+                new = (old & 0xFFFFFFFF) | (value << 32)
+            self.mtimecmp[hartid] = new & U64
+            self.program_physical_timer(hartid)
+            return
+        raise ValueError(f"bad virtual CLINT write at offset {offset:#x}")

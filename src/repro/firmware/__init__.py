@@ -1,0 +1,33 @@
+"""Guest firmware models: vendor SBI firmware, an RTOS, and adversaries."""
+
+from repro.firmware.base import (
+    BaseFirmware,
+    DEFAULT_MEDELEG,
+    DEFAULT_MIDELEG,
+    FirmwarePanic,
+)
+from repro.firmware.malicious import ATTACKS, AttackOutcome, MaliciousFirmware
+from repro.firmware.opensbi import (
+    OpenSbiFirmware,
+    P550_VENDOR_CSRS,
+    PremierP550Firmware,
+    VisionFive2Firmware,
+)
+from repro.firmware.rustsbi import RustSbiFirmware
+from repro.firmware.zephyr import ZephyrFirmware
+
+__all__ = [
+    "ATTACKS",
+    "AttackOutcome",
+    "BaseFirmware",
+    "DEFAULT_MEDELEG",
+    "DEFAULT_MIDELEG",
+    "FirmwarePanic",
+    "MaliciousFirmware",
+    "OpenSbiFirmware",
+    "P550_VENDOR_CSRS",
+    "PremierP550Firmware",
+    "RustSbiFirmware",
+    "VisionFive2Firmware",
+    "ZephyrFirmware",
+]

@@ -1,0 +1,201 @@
+"""Adversarial firmware used by the security evaluation.
+
+Implements the threat model of §2.3 / §5.2: an attacker with full control
+over the vendor firmware who attempts to violate OS integrity and
+confidentiality, escape PMP virtualization, or subvert the monitor.  Each
+attack corresponds to a concrete technique a malicious or compromised
+firmware could attempt; the security test-suite asserts every one of them
+is contained by Miralis with the sandbox policy, and *succeeds* natively —
+demonstrating precisely the gap the paper closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.firmware.opensbi import OpenSbiFirmware
+from repro.hart.program import GuestContext, MachineHalted
+from repro.isa import constants as c
+from repro.sbi.constants import SbiError
+from repro.sbi.types import SbiCall, SbiRet
+
+#: Attack identifiers (used to parameterize tests).
+ATTACKS = (
+    "read_os_memory",
+    "write_os_memory",
+    "remap_pmp_window",
+    "pmp_out_of_range",
+    "pmp_w_without_r",
+    "steal_smode_csrs",
+    "corrupt_smode_csrs",
+    "read_monitor_memory",
+    "write_monitor_memory",
+    "dma_device_access",
+    "register_exfiltration",
+    "mret_to_mmode",
+)
+
+
+class AttackOutcome:
+    """Record of one attempted attack."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.attempted = False
+        self.succeeded = False
+        self.leaked_value: Optional[int] = None
+        self.note = ""
+
+    def __repr__(self) -> str:
+        status = "SUCCEEDED" if self.succeeded else "contained"
+        return f"<attack {self.name}: {status} {self.note}>"
+
+
+#: The SBI "knock" that wakes the rootkit: a vendor-extension call the
+#: compromised firmware recognizes.  Realistic (malware activated by a
+#: covert trigger) and deterministic for the test suite.
+TRIGGER_EID = 0x0A77AC4
+
+
+class MaliciousFirmware(OpenSbiFirmware):
+    """OpenSBI-like firmware with an embedded rootkit.
+
+    The rootkit behaves normally during boot (surviving boot-time
+    measurement), then runs its attack when it sees the trigger knock —
+    an SBI call with extension ID :data:`TRIGGER_EID`.
+    """
+
+    BANNER = "OpenSBI v1.4 (trojaned)"
+
+    def __init__(self, *args, attack: str = "read_os_memory",
+                 os_secret_address: int = 0, monitor_address: int = 0,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if attack not in ATTACKS:
+            raise ValueError(f"unknown attack {attack!r}")
+        self.attack = attack
+        self.os_secret_address = os_secret_address
+        self.monitor_address = monitor_address
+        self.outcome = AttackOutcome(attack)
+
+    def dispatch_sbi(self, ctx: GuestContext, call: SbiCall) -> SbiRet:
+        if call.eid == TRIGGER_EID and not self.outcome.attempted:
+            self.outcome.attempted = True
+            try:
+                self._run_attack(ctx, call)
+            except MachineHalted:
+                # The policy stopped the machine: containment by kill.
+                self.outcome.note = "machine halted by policy"
+                raise
+            return SbiRet.failure(SbiError.ERR_NOT_SUPPORTED)
+        return super().dispatch_sbi(ctx, call)
+
+    # ------------------------------------------------------------------
+
+    def _run_attack(self, ctx: GuestContext, call: SbiCall) -> None:
+        handler = getattr(self, f"_attack_{self.attack}")
+        handler(ctx, call)
+
+    def _attack_read_os_memory(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Confidentiality: read a secret out of OS memory."""
+        value = ctx.load(self.os_secret_address, size=8)
+        self.outcome.leaked_value = value
+        self.outcome.succeeded = True
+        self.outcome.note = f"read {value:#x} from OS memory"
+
+    def _attack_write_os_memory(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Integrity: patch OS memory (rootkit implant)."""
+        ctx.store(self.os_secret_address, 0x4141_4141_4141_4141, size=8)
+        self.outcome.succeeded = True
+        self.outcome.note = "overwrote OS memory"
+
+    def _attack_remap_pmp_window(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Reconfigure PMP 0 as a TOR window over all memory, then read."""
+        ctx.csrw(c.CSR_PMPADDR0, (self.os_secret_address + 0x1000) >> 2)
+        cfg = (int(c.PmpAddressMode.TOR) << c.PMP_A_SHIFT) | c.PMP_R | c.PMP_W
+        ctx.csrw(c.CSR_PMPCFG0, cfg)
+        value = ctx.load(self.os_secret_address, size=8)
+        self.outcome.leaked_value = value
+        self.outcome.succeeded = True
+        self.outcome.note = f"PMP remap leaked {value:#x}"
+
+    def _attack_pmp_out_of_range(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Write past the virtual PMP count (the §6.5 Miralis bug class)."""
+        last = self.machine.config.pmp_count - 1
+        ctx.csrw(c.pmpaddr_csr(last), (1 << 54) - 1)
+        cfg_csr = c.pmpcfg_csr(last)
+        shift = 8 * (last % 8)
+        cfg = (c.PMP_R | c.PMP_W | c.PMP_X | (int(c.PmpAddressMode.NAPOT) << c.PMP_A_SHIFT))
+        ctx.csrw(cfg_csr, cfg << shift)
+        value = ctx.load(self.os_secret_address, size=8)
+        self.outcome.leaked_value = value
+        self.outcome.succeeded = True
+        self.outcome.note = "highest PMP entry granted all-memory access"
+
+    def _attack_pmp_w_without_r(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Program the reserved W=1/R=0 combination (must be rejected)."""
+        ctx.csrw(c.CSR_PMPADDR0, (1 << 54) - 1)
+        cfg = c.PMP_W | (int(c.PmpAddressMode.NAPOT) << c.PMP_A_SHIFT)
+        ctx.csrw(c.CSR_PMPCFG0, cfg)
+        accepted = ctx.csrr(c.CSR_PMPCFG0) & 0xFF
+        if accepted & c.PMP_W and not accepted & c.PMP_R:
+            self.outcome.succeeded = True
+            self.outcome.note = "reserved W=1/R=0 accepted"
+
+    def _attack_steal_smode_csrs(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Confidentiality: harvest S-mode CSbefore (sscratch holds secrets)."""
+        value = ctx.csrr(c.CSR_SSCRATCH)
+        self.outcome.leaked_value = value
+        if value != 0:
+            self.outcome.succeeded = True
+            self.outcome.note = f"read sscratch={value:#x}"
+
+    def _attack_corrupt_smode_csrs(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Integrity: redirect the OS trap vector to firmware-chosen code."""
+        ctx.csrw(c.CSR_STVEC, self.region.base + self.TRAP_VECTOR_OFFSET)
+        if ctx.csrr(c.CSR_STVEC) == self.region.base + self.TRAP_VECTOR_OFFSET:
+            self.outcome.succeeded = True
+            self.outcome.note = "stvec redirected"
+
+    def _attack_read_monitor_memory(self, ctx: GuestContext, call: SbiCall) -> None:
+        value = ctx.load(self.monitor_address, size=8)
+        self.outcome.leaked_value = value
+        self.outcome.succeeded = True
+        self.outcome.note = f"read monitor memory: {value:#x}"
+
+    def _attack_write_monitor_memory(self, ctx: GuestContext, call: SbiCall) -> None:
+        ctx.store(self.monitor_address, 0x4141_4141_4141_4141, size=8)
+        self.outcome.succeeded = True
+        self.outcome.note = "overwrote monitor memory"
+
+    def _attack_dma_device_access(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Program a DMA-capable device to write into OS memory (§4.3)."""
+        dma_base = self.machine.config.plic_base  # stands in for a DMA engine
+        ctx.store(dma_base, 1, size=4)
+        self.outcome.succeeded = True
+        self.outcome.note = "programmed DMA-capable device"
+
+    def _attack_register_exfiltration(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Read OS registers beyond the SBI call's declared arguments.
+
+        ``set_timer`` takes one argument (a0); reading s-registers leaks
+        kernel pointers unless the policy filters them (§5.2's per-call
+        allow-list).
+        """
+        leaked = ctx.trap_reg(9)  # s1: a callee-saved OS register
+        self.outcome.leaked_value = leaked
+        if leaked != 0:
+            self.outcome.succeeded = True
+            self.outcome.note = f"read OS s1={leaked:#x} during SBI call"
+
+    def _attack_mret_to_mmode(self, ctx: GuestContext, call: SbiCall) -> None:
+        """Privilege escalation: mret with MPP=M to execute in real M-mode."""
+        mstatus = ctx.csrr(c.CSR_MSTATUS)
+        ctx.csrw(c.CSR_MSTATUS, mstatus | c.MSTATUS_MPP)
+        mpp = (ctx.csrr(c.CSR_MSTATUS) & c.MSTATUS_MPP) >> c.MSTATUS_MPP_SHIFT
+        # Under Miralis, MPP=M here is *virtual* M-mode: the attack only
+        # succeeds if it yields physical M-mode execution, which the
+        # security tests detect by probing a physically-protected address
+        # after the mret.  Record what the firmware observes.
+        self.outcome.note = f"virtual mpp={mpp}"
+        self.outcome.succeeded = mpp == 3 and ctx.hart.state.mode == c.M_MODE

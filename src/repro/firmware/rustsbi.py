@@ -1,0 +1,121 @@
+"""RustSBI-like firmware: an independent, leaner SBI implementation.
+
+§8.2 exercises Miralis with RustSBI as a from-scratch alternative to
+OpenSBI.  This model shares no vendor bring-up with the OpenSBI flavour,
+has a tighter trap path (no indirect-call routing), and ships its own
+self-test used by the integration suite ("RustSBI passes its test suite
+while virtualized").
+"""
+
+from __future__ import annotations
+
+from repro.firmware.base import BaseFirmware
+from repro.hart.program import GuestContext
+from repro.isa import constants as c
+from repro.sbi import constants as sbi
+from repro.sbi.types import SbiCall, SbiRet
+
+
+class RustSbiFirmware(BaseFirmware):
+    """A from-scratch SBI firmware with a minimal, direct trap path."""
+
+    IMPL_ID = sbi.IMPL_ID_RUSTSBI
+    IMPL_VERSION = 0x00500
+    BANNER = "RustSBI v0.5"
+    TRAP_PROLOGUE_INSTRUCTIONS = 45
+    TRAP_EPILOGUE_INSTRUCTIONS = 35
+    BOOT_INIT_INSTRUCTIONS = 6_000
+
+    def platform_init(self, ctx: GuestContext, hartid: int) -> None:
+        # RustSBI probes the CLINT only.
+        ctx.load(self.machine.clint.mtime_address, size=8)
+
+    def dispatch_sbi(self, ctx: GuestContext, call: SbiCall) -> SbiRet:
+        # RustSBI does not implement the legacy console.
+        if call.eid == sbi.LEGACY_CONSOLE_GETCHAR:
+            return SbiRet.failure(sbi.SbiError.ERR_NOT_SUPPORTED)
+        return super().dispatch_sbi(ctx, call)
+
+    # ------------------------------------------------------------------
+    # Self test (run natively or virtualized; must behave identically)
+    # ------------------------------------------------------------------
+
+    def self_test(self, ctx: GuestContext) -> list[str]:
+        """RustSBI's machine-mode self-test: returns a list of failures.
+
+        Exercises CSR round-trips, trap configuration, PMP registers, and
+        the CLINT — every architectural surface the firmware relies on.
+        An empty return means the suite passed.
+        """
+        failures: list[str] = []
+
+        def check(name: str, condition: bool) -> None:
+            if not condition:
+                failures.append(name)
+
+        # CSR round trips.
+        ctx.csrw(c.CSR_MSCRATCH, 0xDEAD_BEEF_CAFE_F00D)
+        check("mscratch", ctx.csrr(c.CSR_MSCRATCH) == 0xDEAD_BEEF_CAFE_F00D)
+        old = ctx.csrs(c.CSR_MSCRATCH, 0xFF)
+        check("csrrs returns old", old == 0xDEAD_BEEF_CAFE_F00D)
+        check("csrrs sets bits", ctx.csrr(c.CSR_MSCRATCH) == 0xDEAD_BEEF_CAFE_F0FF)
+
+        # mstatus field behaviour (WARL on MPP).
+        mstatus = ctx.csrr(c.CSR_MSTATUS)
+        ctx.csrw(c.CSR_MSTATUS, mstatus | (2 << c.MSTATUS_MPP_SHIFT))
+        mpp = (ctx.csrr(c.CSR_MSTATUS) & c.MSTATUS_MPP) >> c.MSTATUS_MPP_SHIFT
+        check("mpp warl", mpp in (0, 1, 3))
+        ctx.csrw(c.CSR_MSTATUS, mstatus)
+
+        # misa reports RV64 with S and U.
+        misa = ctx.csrr(c.CSR_MISA)
+        check("misa mxl", misa >> 62 == 2)
+        check("misa S", bool(misa & (1 << 18)))
+        check("misa U", bool(misa & (1 << 20)))
+
+        # Delegation registers mask reserved bits.
+        ctx.csrw(c.CSR_MIDELEG, (1 << 64) - 1)
+        check("mideleg mask", ctx.csrr(c.CSR_MIDELEG) == c.MIDELEG_MASK)
+        ctx.csrw(c.CSR_MIDELEG, c.SIP_MASK)
+
+        # PMP registers accept NAPOT configuration (probe, test, restore).
+        count = self.probe_pmp_count(ctx)
+        check("pmp entries present", count >= 1)
+        if count:
+            entry = 0
+            saved_addr = ctx.csrr(c.pmpaddr_csr(entry))
+            saved_cfg = ctx.csrr(c.pmpcfg_csr(entry))
+            ctx.csrw(c.pmpaddr_csr(entry), (1 << 30) - 1)
+            check(
+                "pmpaddr round-trip",
+                ctx.csrr(c.pmpaddr_csr(entry)) == (1 << 30) - 1,
+            )
+            # Reserved W=1/R=0 combination must be rejected.
+            cfg_csr = c.pmpcfg_csr(entry)
+            shift = 8 * (entry % 8)
+            ctx.csrw(cfg_csr, saved_cfg | (c.PMP_W << shift))
+            after = ctx.csrr(cfg_csr)
+            check("pmp w-without-r rejected", (after >> shift) & c.PMP_W == 0)
+            ctx.csrw(c.pmpaddr_csr(entry), saved_addr)
+            ctx.csrw(cfg_csr, saved_cfg)
+
+        # CLINT is readable and time is monotone.
+        t0 = ctx.load(self.machine.clint.mtime_address, size=8)
+        ctx.compute(1000)
+        t1 = ctx.load(self.machine.clint.mtime_address, size=8)
+        check("mtime monotone", t1 >= t0)
+
+        # Timer interrupt fires and is taken by this firmware.
+        hartid = ctx.csrr(c.CSR_MHARTID)
+        before_timer = len(self.unexpected_traps)
+        ctx.store(self.machine.clint.mtimecmp_address(hartid), t1 + 100, size=8)
+        ctx.csrs(c.CSR_MIE, c.MIP_MTIP)
+        mstatus = ctx.csrr(c.CSR_MSTATUS)
+        ctx.csrw(c.CSR_MSTATUS, mstatus | c.MSTATUS_MIE)
+        ctx.wfi()
+        ctx.csrw(c.CSR_MSTATUS, mstatus)
+        check("timer fired", ctx.csrr(c.CSR_MIP) & c.MIP_STIP != 0)
+        ctx.csrc(c.CSR_MIP, c.MIP_STIP)
+        check("no spurious traps", len(self.unexpected_traps) == before_timer)
+
+        return failures

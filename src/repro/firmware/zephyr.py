@@ -1,0 +1,162 @@
+"""Zephyr-like RTOS firmware.
+
+Zephyr is an M-mode real-time kernel: unlike SBI firmware it does not boot
+an S-mode OS — the kernel *and* its application threads all run at the
+highest privilege level.  §8.2 uses it to show Miralis can virtualize an
+entire RTOS in vM-mode.  The model implements a cooperative scheduler with
+a tick timer driven by the CLINT, and a small test suite of threads
+(context switching, timer ticks, semaphores) that must pass identically
+native and virtualized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.hart.program import GuestContext, GuestProgram, Region
+from repro.isa import constants as c
+
+
+@dataclasses.dataclass
+class Thread:
+    """A Zephyr thread: a Python callable run by the cooperative scheduler."""
+
+    name: str
+    body: Callable[["ZephyrFirmware", GuestContext], None]
+    runs: int = 0
+    done: bool = False
+
+
+class ZephyrFirmware(GuestProgram):
+    """An M-mode RTOS with a tick-driven cooperative scheduler."""
+
+    TICK_MTIME = 400  # 100 us tick at the 4 MHz timebase
+
+    def __init__(self, name: str, region: Region, machine, num_ticks: int = 10):
+        super().__init__(name, region)
+        self.machine = machine
+        self.num_ticks = num_ticks
+        self.ticks = 0
+        self.threads: list[Thread] = []
+        self.semaphore = 0
+        self.test_log: list[str] = []
+        self._install_test_threads()
+
+    # -- kernel API used by threads --------------------------------------
+
+    def spawn(self, name: str, body) -> None:
+        self.threads.append(Thread(name, body))
+
+    def give_semaphore(self, ctx: GuestContext) -> None:
+        self.semaphore += 1
+        ctx.store(self.region.base + 0x3000, self.semaphore, size=8)
+
+    def take_semaphore(self, ctx: GuestContext) -> bool:
+        if self.semaphore > 0:
+            self.semaphore -= 1
+            ctx.store(self.region.base + 0x3000, self.semaphore, size=8)
+            return True
+        return False
+
+    # -- boot & scheduling ------------------------------------------------
+
+    def boot(self, ctx: GuestContext) -> None:
+        ctx.csrw(c.CSR_MTVEC, self.trap_vector)
+        hartid = ctx.csrr(c.CSR_MHARTID)
+        self._arm_tick(ctx, hartid)
+        ctx.csrw(c.CSR_MIE, c.MIP_MTIP)
+        ctx.csrs(c.CSR_MSTATUS, c.MSTATUS_MIE)
+        self.test_log.append("boot")
+        # Watchdog: if the tick interrupt is lost (e.g. a buggy monitor
+        # drops virtual interrupts, the §6.5 failure mode), the scheduler
+        # detects the stall instead of spinning forever — "virtual
+        # interrupt losses can cause system stalls or instabilities".
+        watchdog = max(64, self.num_ticks * 50)
+        iterations = 0
+        while self.ticks < self.num_ticks and not self.machine.halted:
+            iterations += 1
+            if iterations > watchdog:
+                self.test_log.append("watchdog-stall")
+                self.machine.halt("zephyr: tick interrupt lost (stall)")
+                return
+            ran_any = False
+            for thread in self.threads:
+                if not thread.done:
+                    thread.body(self, ctx)
+                    thread.runs += 1
+                    ran_any = True
+                ctx.compute(80)  # context-switch cost
+            if not ran_any:
+                break
+            ctx.wfi()  # idle until the next tick
+        self.test_log.append("shutdown")
+        self.machine.halt("zephyr: workload complete")
+
+    def handle_trap(self, ctx: GuestContext) -> None:
+        cause = ctx.csrr(c.CSR_MCAUSE)
+        self.machine.stats.annotate_last("firmware", detail="zephyr-trap")
+        if cause & c.INTERRUPT_BIT and (cause & ~c.INTERRUPT_BIT) == c.IRQ_MTI:
+            self.ticks += 1
+            hartid = ctx.csrr(c.CSR_MHARTID)
+            self._arm_tick(ctx, hartid)
+        else:
+            self.test_log.append(f"unexpected-trap:{cause:#x}")
+            self.machine.halt("zephyr: unexpected trap")
+            return
+        ctx.mret()
+
+    def _arm_tick(self, ctx: GuestContext, hartid: int) -> None:
+        now = ctx.load(self.machine.clint.mtime_address, size=8)
+        ctx.store(
+            self.machine.clint.mtimecmp_address(hartid),
+            now + self.TICK_MTIME,
+            size=8,
+        )
+
+    # -- built-in test threads (the "Zephyr test suite" of §8.2) ----------
+
+    def _install_test_threads(self) -> None:
+        def producer(kernel: "ZephyrFirmware", ctx: GuestContext) -> None:
+            ctx.compute(500)
+            kernel.give_semaphore(ctx)
+            if kernel.ticks >= kernel.num_ticks - 1:
+                kernel.test_log.append("producer-done")
+                kernel._thread("producer").done = True
+
+        def consumer(kernel: "ZephyrFirmware", ctx: GuestContext) -> None:
+            if kernel.take_semaphore(ctx):
+                ctx.compute(300)
+            if kernel._thread("producer").done:
+                kernel.test_log.append("consumer-done")
+                kernel._thread("consumer").done = True
+
+        def timekeeper(kernel: "ZephyrFirmware", ctx: GuestContext) -> None:
+            t0 = ctx.load(kernel.machine.clint.mtime_address, size=8)
+            ctx.compute(200)
+            t1 = ctx.load(kernel.machine.clint.mtime_address, size=8)
+            if t1 < t0:
+                kernel.test_log.append("time-went-backwards")
+            if kernel.ticks >= kernel.num_ticks - 1:
+                kernel.test_log.append("timekeeper-done")
+                kernel._thread("timekeeper").done = True
+
+        self.spawn("producer", producer)
+        self.spawn("consumer", consumer)
+        self.spawn("timekeeper", timekeeper)
+
+    def _thread(self, name: str) -> Thread:
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise KeyError(name)
+
+    def suite_passed(self) -> bool:
+        """Whether the built-in test suite completed successfully."""
+        required = {"boot", "producer-done", "consumer-done", "timekeeper-done",
+                    "shutdown"}
+        forbidden = {"time-went-backwards"}
+        log = set(self.test_log)
+        return required <= log and not (forbidden & log) and not any(
+            entry.startswith("unexpected-trap") for entry in self.test_log
+        )

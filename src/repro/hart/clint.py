@@ -1,0 +1,121 @@
+"""CLINT — Core Local INTerruptor.
+
+The CLINT provides the machine timer (``mtime``, one ``mtimecmp`` per hart)
+and software interrupts (one ``msip`` word per hart).  Per §4.3 of the
+paper, this is the only MMIO device the VFM needs to emulate; Miralis's
+virtual CLINT (:mod:`repro.core.vclint`) re-implements this register layout
+on top of shadow state.
+
+Register map (standard SiFive layout):
+
+====================  ==========================================
+offset                register
+====================  ==========================================
+0x0000 + 4*hart       msip[hart]      (bit 0 = software interrupt)
+0x4000 + 8*hart       mtimecmp[hart]
+0xBFF8                mtime
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.spec.step import BusError
+
+MSIP_BASE = 0x0000
+MTIMECMP_BASE = 0x4000
+MTIME_OFFSET = 0xBFF8
+CLINT_SIZE = 0xC000
+
+
+class Clint:
+    """The physical CLINT device.
+
+    ``time_source`` supplies the current mtime value (owned by the
+    machine's clock); interrupt level changes are pushed through the
+    ``set_msip``/``set_mtip`` callbacks so CSR ``mip`` bits track device
+    state, as wired lines do on hardware.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        num_harts: int,
+        time_source: Callable[[], int],
+        set_msip: Callable[[int, bool], None],
+        set_mtip: Callable[[int, bool], None],
+    ):
+        self.base = base
+        self.size = CLINT_SIZE
+        self.num_harts = num_harts
+        self.time_source = time_source
+        self._set_msip = set_msip
+        self._set_mtip = set_mtip
+        self.msip = [0] * num_harts
+        self.mtimecmp = [(1 << 64) - 1] * num_harts
+
+    # -- device interface ----------------------------------------------
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == MTIME_OFFSET and size == 8:
+            return self.time_source()
+        if offset == MTIME_OFFSET + 4 and size == 4:
+            return (self.time_source() >> 32) & 0xFFFFFFFF
+        if offset == MTIME_OFFSET and size == 4:
+            return self.time_source() & 0xFFFFFFFF
+        hart, register_base = self._locate(offset, size)
+        if register_base == MSIP_BASE:
+            return self.msip[hart]
+        return self.mtimecmp[hart]
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == MTIME_OFFSET:
+            # mtime is writable on real CLINTs; the simulated clock is
+            # monotonic and owned by the machine, so writes are ignored.
+            return
+        hart, register_base = self._locate(offset, size)
+        if register_base == MSIP_BASE:
+            self.msip[hart] = value & 1
+            self._set_msip(hart, bool(value & 1))
+            return
+        if size == 8:
+            self.mtimecmp[hart] = value
+        elif offset % 8 == 0:  # low word
+            self.mtimecmp[hart] = (self.mtimecmp[hart] & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
+        else:  # high word
+            self.mtimecmp[hart] = (self.mtimecmp[hart] & 0xFFFFFFFF) | ((value & 0xFFFFFFFF) << 32)
+        self._update_mtip(hart)
+
+    # -- timer logic ------------------------------------------------------
+
+    def _locate(self, offset: int, size: int) -> tuple[int, int]:
+        if MSIP_BASE <= offset < MSIP_BASE + 4 * self.num_harts and size == 4:
+            return (offset - MSIP_BASE) // 4, MSIP_BASE
+        if MTIMECMP_BASE <= offset < MTIMECMP_BASE + 8 * self.num_harts and size in (4, 8):
+            return (offset - MTIMECMP_BASE) // 8, MTIMECMP_BASE
+        raise BusError(f"bad CLINT access: {size}B at offset {offset:#x}")
+
+    def _update_mtip(self, hart: int) -> None:
+        self._set_mtip(hart, self.time_source() >= self.mtimecmp[hart])
+
+    def tick(self) -> None:
+        """Re-evaluate all timer comparators (called when time advances)."""
+        for hart in range(self.num_harts):
+            self._update_mtip(hart)
+
+    def next_timer_deadline(self) -> int:
+        """Earliest mtimecmp across harts (used to fast-forward idle time)."""
+        return min(self.mtimecmp)
+
+    # -- convenience used by firmware and the VFM fast path ---------------
+
+    def mtimecmp_address(self, hart: int) -> int:
+        return self.base + MTIMECMP_BASE + 8 * hart
+
+    def msip_address(self, hart: int) -> int:
+        return self.base + MSIP_BASE + 4 * hart
+
+    @property
+    def mtime_address(self) -> int:
+        return self.base + MTIME_OFFSET

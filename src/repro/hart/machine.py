@@ -1,0 +1,274 @@
+"""The simulated machine: harts, bus, devices, regions, and dispatch.
+
+The machine owns the global clock (cycles and the derived ``mtime``), the
+region map that decides which program or host handler owns each physical
+address, and the dispatch loop that routes control transfers (traps,
+xRETs, world switches) between them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Union
+
+from repro.hart.clint import Clint
+from repro.hart.cycles import cycle_model_for, cycles_to_mtime
+from repro.hart.hart import Hart
+from repro.hart.memory import Ram, SystemBus
+from repro.hart.plic import Plic
+from repro.hart.program import GuestProgram, MachineHalted, ProtocolError, Region
+from repro.hart.stats import TrapStats
+from repro.hart.uart import Uart
+from repro.spec.platform import PlatformConfig
+
+
+class HostHandler(Protocol):
+    """Host-native M-mode software (the VFM).
+
+    Unlike guest programs, a host handler manipulates hart state directly
+    in Python — just as Miralis is Rust code on the host machine rather
+    than code the virtualized firmware could inspect.
+    """
+
+    name: str
+    region: Region
+
+    def handle(self, machine: "Machine", hart: Hart) -> None: ...
+
+
+Owner = Union[GuestProgram, "HostHandler"]
+
+_MAX_DISPATCHES = 200_000_000
+
+
+class _UnwindToResume(Exception):
+    """Control reached a resume point of an outer ``run_until`` level."""
+
+    def __init__(self, pc: int):
+        self.pc = pc
+        super().__init__(f"unwind to resume point {pc:#x}")
+
+
+class Machine:
+    """A complete simulated RISC-V platform."""
+
+    def __init__(self, config: PlatformConfig, keep_trap_events: bool = True):
+        self.config = config
+        self.cycle_model = cycle_model_for(config)
+        self.stats = TrapStats(keep_events=keep_trap_events)
+        self.cycles = 0.0
+        self.halted = False
+        self.halt_reason: Optional[str] = None
+
+        ram_size = min(config.ram_bytes, 1 << 32)  # cap simulated RAM window
+        self.ram = Ram(config.ram_base, ram_size)
+        self.spec_bus = SystemBus(self.ram)
+        self.clint = Clint(
+            config.clint_base,
+            config.num_harts,
+            time_source=self.read_mtime,
+            set_msip=self._set_msip_line,
+            set_mtip=self._set_mtip_line,
+        )
+        self.plic = Plic(config.plic_base, config.num_harts, set_eip=self._set_eip_line)
+        self.uart = Uart(config.uart_base)
+        self.spec_bus.attach(self.clint)
+        self.spec_bus.attach(self.plic)
+        self.spec_bus.attach(self.uart)
+
+        self.harts = [Hart(self, hartid) for hartid in range(config.num_harts)]
+        self._regions: list[tuple[Region, Owner]] = []
+        self._dispatches = 0
+        self._service_depth = 0
+        self._resume_stack: list[set[int]] = []
+        #: Runaway-control-flow backstop; tests may lower it to detect
+        #: livelocks (e.g. interrupt storms from a buggy monitor).
+        self.max_dispatches = _MAX_DISPATCHES
+        #: Installed by the VFM: intercepts HSM hart_start so secondary
+        #: harts boot through the monitor instead of directly into S-mode.
+        self.hart_start_hook = None
+
+    # -- clock ----------------------------------------------------------
+
+    def read_mtime(self) -> int:
+        return cycles_to_mtime(self.cycles, self.config.frequency_hz)
+
+    def charge(self, cycles: float) -> None:
+        self.cycles += cycles
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.cycles / self.config.frequency_hz
+
+    def refresh_timer_lines(self) -> None:
+        self.clint.tick()
+
+    # -- interrupt lines ---------------------------------------------------
+
+    def _set_msip_line(self, hartid: int, level: bool) -> None:
+        from repro.isa.constants import IRQ_MSI
+
+        self.harts[hartid].state.csr.set_interrupt_line(IRQ_MSI, level)
+        if level:
+            self._service_remote(hartid)
+
+    def _set_mtip_line(self, hartid: int, level: bool) -> None:
+        from repro.isa.constants import IRQ_MTI
+
+        self.harts[hartid].state.csr.set_interrupt_line(IRQ_MTI, level)
+
+    def _set_eip_line(self, hartid: int, level: bool) -> None:
+        from repro.isa.constants import IRQ_MEI
+
+        self.harts[hartid].state.csr.set_interrupt_line(IRQ_MEI, level)
+
+    # -- region map --------------------------------------------------------
+
+    def register(self, owner: Owner, region: Optional[Region] = None) -> None:
+        """Register a program or host handler as owner of a region."""
+        region = region if region is not None else owner.region
+        for existing, _ in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(f"region {region} overlaps {existing}")
+        self._regions.append((region, owner))
+
+    def owner_of(self, address: int) -> Optional[Owner]:
+        for region, owner in self._regions:
+            if region.contains(address):
+                return owner
+        return None
+
+    def region_named(self, name: str) -> Region:
+        for region, _ in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def is_mmio(self, address: int) -> bool:
+        return self.spec_bus.device_at(address) is not None
+
+    # -- control flow -------------------------------------------------
+
+    def halt(self, reason: str = "halt") -> None:
+        self.halted = True
+        self.halt_reason = reason
+
+    def dispatch_current(self, hart: Hart) -> None:
+        """Dispatch whichever program/handler owns the hart's current pc."""
+        self._dispatches += 1
+        if self._dispatches > self.max_dispatches:
+            raise ProtocolError("dispatch limit exceeded (runaway control flow)")
+        owner = self.owner_of(hart.state.pc)
+        if owner is None:
+            raise ProtocolError(
+                f"no program owns pc {hart.state.pc:#x} "
+                f"(mode {hart.state.mode.short_name})"
+            )
+        if isinstance(owner, GuestProgram):
+            owner.dispatch(self, hart)
+        else:
+            owner.handle(self, hart)
+
+    def run_until(self, hart: Hart, resume_pcs: set[int]) -> None:
+        """Dispatch handlers until control returns to one of ``resume_pcs``.
+
+        ``run_until`` calls nest (a trap handler's own operations trap);
+        each level records its resume set.  When a handler redirects
+        control to a resume point belonging to an *outer* level — e.g. a
+        TEE policy suspending an enclave and returning to the OS's
+        ``run_enclave`` call site — the inner levels unwind via
+        :class:`_UnwindToResume` until the owning level continues.  This
+        mirrors hardware, where such a context switch simply abandons the
+        interrupted instruction stream.
+        """
+        stack = self._resume_stack
+        stack.append(resume_pcs)
+        try:
+            while hart.state.pc not in resume_pcs:
+                if self.halted:
+                    raise MachineHalted(self.halt_reason or "halted")
+                if any(hart.state.pc in outer for outer in stack[:-1]):
+                    raise _UnwindToResume(hart.state.pc)
+                try:
+                    self.dispatch_current(hart)
+                except _UnwindToResume:
+                    if hart.state.pc in resume_pcs:
+                        break
+                    raise
+        finally:
+            stack.pop()
+
+    def boot(self, hart_index: int = 0, entry: Optional[int] = None) -> str:
+        """Start execution on a hart and run until the machine halts.
+
+        Returns the halt reason.
+        """
+        hart = self.harts[hart_index]
+        if entry is not None:
+            hart.state.pc = entry
+        try:
+            while not self.halted:
+                self.dispatch_current(hart)
+        except MachineHalted:
+            pass
+        return self.halt_reason or "halted"
+
+    # -- idle / interrupt servicing ----------------------------------------
+
+    def advance_until_interrupt(self, hart: Hart) -> None:
+        """Fast-forward time until the hart has a pending interrupt (wfi)."""
+        from repro.hart.cycles import mtime_to_cycles
+        from repro.spec.interrupts import pending_interrupt
+
+        for _ in range(64):
+            self.refresh_timer_lines()
+            state = hart.state
+            if state.csr.mip & state.csr.mie:
+                state.waiting_for_interrupt = False
+                return
+            deadlines = [self.clint.mtimecmp[hart.hartid]]
+            if self.config.has_sstc:
+                deadlines.append(state.csr.stimecmp)
+            deadline = min(deadlines)
+            now = self.read_mtime()
+            if deadline == (1 << 64) - 1 or deadline <= now:
+                break
+            self.charge(mtime_to_cycles(deadline - now + 1, self.config.frequency_hz))
+        else:
+            return
+        self.refresh_timer_lines()
+        if hart.state.csr.mip & hart.state.csr.mie:
+            hart.state.waiting_for_interrupt = False
+            return
+        reason = f"hart {hart.hartid} is idle in wfi with no wakeup source armed"
+        self.halt(reason)
+        raise MachineHalted(reason)
+
+    def run_hart_until_parked(self, hart: Hart, max_dispatches: int = 100_000) -> None:
+        """Run a (secondary) hart until it parks itself (HSM hart_start)."""
+        for _ in range(max_dispatches):
+            if hart.parked_pc is not None or self.halted:
+                return
+            self.dispatch_current(hart)
+        raise ProtocolError(f"hart {hart.hartid} never parked after start")
+
+    def park(self, hart: Hart) -> None:
+        """Mark a hart as idle at its current pc (IPI service point)."""
+        hart.parked_pc = hart.state.pc
+
+    def _service_remote(self, hartid: int) -> None:
+        """Run a parked remote hart's interrupt handling to completion.
+
+        Called when an IPI line is raised for a hart that is idle; models
+        the remote core waking, handling the interrupt (through firmware,
+        the VFM, and/or the OS) and going back to sleep.
+        """
+        hart = self.harts[hartid]
+        if hart.parked_pc is None or self._service_depth > 4:
+            return
+        self._service_depth += 1
+        try:
+            self.charge(self.cycle_model.ipi_remote_delivery)
+            while hart.check_interrupts():
+                self.run_until(hart, {hart.parked_pc})
+        finally:
+            self._service_depth -= 1

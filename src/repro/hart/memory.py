@@ -1,0 +1,110 @@
+"""Physical memory and the system bus.
+
+The bus routes physical accesses to RAM (sparse, page-allocated) or to MMIO
+devices.  Permission enforcement is *not* done here — it happens in the
+specification's PMP check before the access reaches the bus, exactly as on
+real hardware — but the bus does fault on unmapped addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.spec.step import BusError
+
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+
+
+class Device(Protocol):
+    """An MMIO device occupying a physical address window."""
+
+    base: int
+    size: int
+
+    def read(self, offset: int, size: int) -> int: ...
+
+    def write(self, offset: int, size: int, value: int) -> None: ...
+
+
+class Ram:
+    """Sparse byte-addressable RAM; pages are allocated on first touch."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> tuple[bytearray, int]:
+        page_number = address >> _PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_number] = page
+        return page, address & (_PAGE_SIZE - 1)
+
+    def read(self, address: int, size: int) -> int:
+        end = address + size
+        if (address >> _PAGE_SHIFT) == ((end - 1) >> _PAGE_SHIFT):
+            page, offset = self._page(address)
+            return int.from_bytes(page[offset:offset + size], "little")
+        return int.from_bytes(
+            bytes(self.read(address + i, 1) for i in range(size)), "little"
+        )
+
+    def write(self, address: int, size: int, value: int) -> None:
+        end = address + size
+        data = value.to_bytes(size, "little")
+        if (address >> _PAGE_SHIFT) == ((end - 1) >> _PAGE_SHIFT):
+            page, offset = self._page(address)
+            page[offset:offset + size] = data
+            return
+        for i, byte in enumerate(data):
+            page, offset = self._page(address + i)
+            page[offset] = byte
+
+    def load_image(self, address: int, image: bytes) -> None:
+        """Copy a binary image into RAM."""
+        for i, byte in enumerate(image):
+            page, offset = self._page(address + i)
+            page[offset] = byte
+
+
+class SystemBus:
+    """Routes physical accesses to RAM or MMIO devices."""
+
+    def __init__(self, ram: Ram):
+        self.ram = ram
+        self._devices: list[Device] = []
+
+    def attach(self, device: Device) -> None:
+        for existing in self._devices:
+            if device.base < existing.base + existing.size and existing.base < device.base + device.size:
+                raise ValueError(
+                    f"device at {device.base:#x} overlaps device at {existing.base:#x}"
+                )
+        self._devices.append(device)
+
+    def device_at(self, address: int) -> Device | None:
+        for device in self._devices:
+            if device.base <= address < device.base + device.size:
+                return device
+        return None
+
+    def read(self, address: int, size: int) -> int:
+        if self.ram.base <= address and address + size <= self.ram.base + self.ram.size:
+            return self.ram.read(address, size)
+        device = self.device_at(address)
+        if device is not None and address + size <= device.base + device.size:
+            return device.read(address - device.base, size)
+        raise BusError(f"read of {size}B at unmapped address {address:#x}")
+
+    def write(self, address: int, size: int, value: int) -> None:
+        if self.ram.base <= address and address + size <= self.ram.base + self.ram.size:
+            self.ram.write(address, size, value)
+            return
+        device = self.device_at(address)
+        if device is not None and address + size <= device.base + device.size:
+            device.write(address - device.base, size, value)
+            return
+        raise BusError(f"write of {size}B at unmapped address {address:#x}")

@@ -1,0 +1,112 @@
+"""Trap and world-switch statistics collected by the machine.
+
+These counters drive most of the paper's evaluation: Figure 3 (trap-cause
+distribution over time), the world-switch frequencies quoted in §8.3, and
+the per-benchmark trap rates of Figures 10-13.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Optional
+
+from repro.isa import constants as c
+
+
+@dataclasses.dataclass
+class TrapEvent:
+    """One recorded trap."""
+
+    hart: int
+    cause: int
+    is_interrupt: bool
+    from_mode: Optional[c.PrivilegeLevel]
+    mtime: int
+    handler: str = "unclassified"
+    detail: str = ""
+
+
+def cause_name(cause: int, is_interrupt: bool) -> str:
+    if is_interrupt:
+        try:
+            return f"irq:{c.InterruptCause(cause).name}"
+        except ValueError:
+            return f"irq:{cause}"
+    try:
+        return c.TrapCause(cause).name
+    except ValueError:
+        return f"exception:{cause}"
+
+
+class TrapStats:
+    """Event log plus aggregate counters."""
+
+    def __init__(self, keep_events: bool = True):
+        self.keep_events = keep_events
+        self.events: list[TrapEvent] = []
+        self.trap_counts: Counter[str] = Counter()
+        self.handler_counts: Counter[str] = Counter()
+        self.world_switches = 0
+        self.firmware_emulations = 0
+        self.fastpath_hits = 0
+        self.total_traps = 0
+        self._last: Optional[TrapEvent] = None
+
+    def record_trap(self, hart, cause, is_interrupt, from_mode, mtime) -> TrapEvent:
+        event = TrapEvent(hart, cause, is_interrupt, from_mode, mtime)
+        self.total_traps += 1
+        self.trap_counts[cause_name(cause, is_interrupt)] += 1
+        if self.keep_events:
+            self.events.append(event)
+        self._last = event
+        return event
+
+    def annotate_last(self, handler: str, detail: str = "") -> None:
+        """Record which subsystem handled the most recent trap."""
+        self.handler_counts[handler] += 1
+        if self._last is not None:
+            self._last.handler = handler
+            if detail:
+                self._last.detail = detail
+
+    def note_world_switch(self) -> None:
+        self.world_switches += 1
+
+    def note_firmware_emulation(self) -> None:
+        self.firmware_emulations += 1
+
+    def note_fastpath(self) -> None:
+        self.fastpath_hits += 1
+
+    # -- analysis helpers ------------------------------------------------
+
+    def events_by_window(self, window_mtime: int) -> list[Counter]:
+        """Bucket event causes into fixed-duration windows (Figure 3)."""
+        if not self.events:
+            return []
+        end = max(event.mtime for event in self.events)
+        buckets = [Counter() for _ in range(end // window_mtime + 1)]
+        for event in self.events:
+            buckets[event.mtime // window_mtime][
+                cause_name(event.cause, event.is_interrupt)
+            ] += 1
+        return buckets
+
+    def detail_counts(self) -> Counter:
+        """Counts by handler detail string (e.g. SBI call names)."""
+        counts: Counter[str] = Counter()
+        for event in self.events:
+            if event.detail:
+                counts[event.detail] += 1
+        return counts
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.trap_counts.clear()
+        self.handler_counts.clear()
+        self.world_switches = 0
+        self.firmware_emulations = 0
+        self.fastpath_hits = 0
+        self.total_traps = 0
+        self._last = None

@@ -1,0 +1,16 @@
+"""RISC-V ISA substrate: constants, encodings, decoder, and assembler."""
+
+from repro.isa.asm import Assembler, reg
+from repro.isa.decoder import decode
+from repro.isa.encoding import EncodingError, encode
+from repro.isa.instructions import IllegalInstructionError, Instruction
+
+__all__ = [
+    "Assembler",
+    "EncodingError",
+    "IllegalInstructionError",
+    "Instruction",
+    "decode",
+    "encode",
+    "reg",
+]

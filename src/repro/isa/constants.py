@@ -1,0 +1,398 @@
+"""Architectural constants for the RV64 privileged architecture.
+
+This module is the single source of truth for privilege levels, CSR
+addresses, status-register field layouts, trap causes, and PMP encodings.
+Values follow the RISC-V Instruction Set Manual, Volume II: Privileged
+Architecture (version 20211203), the document the paper's emulator was
+written against.
+"""
+
+from __future__ import annotations
+
+import enum
+
+XLEN = 64
+XMASK = (1 << XLEN) - 1
+
+# ---------------------------------------------------------------------------
+# Privilege levels
+# ---------------------------------------------------------------------------
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """RISC-V privilege levels as encoded in ``mstatus.MPP``."""
+
+    USER = 0
+    SUPERVISOR = 1
+    # Level 2 is the hypervisor-reserved encoding, unused on RV64 without H.
+    MACHINE = 3
+
+    @property
+    def short_name(self) -> str:
+        return {0: "U", 1: "S", 3: "M"}[int(self)]
+
+
+U_MODE = PrivilegeLevel.USER
+S_MODE = PrivilegeLevel.SUPERVISOR
+M_MODE = PrivilegeLevel.MACHINE
+
+
+# ---------------------------------------------------------------------------
+# CSR addresses
+# ---------------------------------------------------------------------------
+
+# Unprivileged counters
+CSR_CYCLE = 0xC00
+CSR_TIME = 0xC01
+CSR_INSTRET = 0xC02
+CSR_HPMCOUNTER3 = 0xC03  # ..0xC1F
+
+# Supervisor-level CSRs
+CSR_SSTATUS = 0x100
+CSR_SIE = 0x104
+CSR_STVEC = 0x105
+CSR_SCOUNTEREN = 0x106
+CSR_SENVCFG = 0x10A
+CSR_SSCRATCH = 0x140
+CSR_SEPC = 0x141
+CSR_SCAUSE = 0x142
+CSR_STVAL = 0x143
+CSR_SIP = 0x144
+CSR_STIMECMP = 0x14D  # Sstc extension
+CSR_SATP = 0x180
+
+# Hypervisor and virtual-supervisor CSRs (subset used by the ACE policy)
+CSR_VSSTATUS = 0x200
+CSR_VSIE = 0x204
+CSR_VSTVEC = 0x205
+CSR_VSSCRATCH = 0x240
+CSR_VSEPC = 0x241
+CSR_VSCAUSE = 0x242
+CSR_VSTVAL = 0x243
+CSR_VSIP = 0x244
+CSR_VSATP = 0x280
+CSR_HSTATUS = 0x600
+CSR_HEDELEG = 0x602
+CSR_HIDELEG = 0x603
+CSR_HIE = 0x604
+CSR_HCOUNTEREN = 0x606
+CSR_HGEIE = 0x607
+CSR_HTVAL = 0x643
+CSR_HIP = 0x644
+CSR_HVIP = 0x645
+CSR_HTINST = 0x64A
+CSR_HGATP = 0x680
+CSR_HGEIP = 0xE12
+
+# Machine-level CSRs
+CSR_MSTATUS = 0x300
+CSR_MISA = 0x301
+CSR_MEDELEG = 0x302
+CSR_MIDELEG = 0x303
+CSR_MIE = 0x304
+CSR_MTVEC = 0x305
+CSR_MCOUNTEREN = 0x306
+CSR_MENVCFG = 0x30A
+CSR_MCOUNTINHIBIT = 0x320
+CSR_MHPMEVENT3 = 0x323  # ..0x33F
+CSR_MSCRATCH = 0x340
+CSR_MEPC = 0x341
+CSR_MCAUSE = 0x342
+CSR_MTVAL = 0x343
+CSR_MIP = 0x344
+CSR_MTINST = 0x34A
+CSR_MTVAL2 = 0x34B
+
+# PMP configuration and address registers.  On RV64 only the even pmpcfg
+# registers exist; each holds the 8-bit configurations of 8 PMP entries.
+CSR_PMPCFG0 = 0x3A0
+CSR_PMPCFG15 = 0x3AF
+CSR_PMPADDR0 = 0x3B0
+CSR_PMPADDR63 = 0x3EF
+
+# Machine counters
+CSR_MCYCLE = 0xB00
+CSR_MINSTRET = 0xB02
+CSR_MHPMCOUNTER3 = 0xB03  # ..0xB1F
+
+# Machine information registers (read-only)
+CSR_MVENDORID = 0xF11
+CSR_MARCHID = 0xF12
+CSR_MIMPID = 0xF13
+CSR_MHARTID = 0xF14
+CSR_MCONFIGPTR = 0xF15
+
+
+def pmpcfg_csr(index: int) -> int:
+    """Address of the ``pmpcfg`` CSR holding entry ``index`` (RV64)."""
+    return CSR_PMPCFG0 + (index // 8) * 2
+
+
+def pmpaddr_csr(index: int) -> int:
+    """Address of ``pmpaddr<index>``."""
+    return CSR_PMPADDR0 + index
+
+
+def csr_min_privilege(csr: int) -> PrivilegeLevel:
+    """Lowest privilege level allowed to access a CSR address.
+
+    Encoded in bits [9:8] of the CSR address per the privileged spec.
+    """
+    level = (csr >> 8) & 0x3
+    if level == 0:
+        return U_MODE
+    if level in (1, 2):  # 2 encodes hypervisor CSRs, accessible from HS
+        return S_MODE
+    return M_MODE
+
+
+def csr_is_read_only(csr: int) -> bool:
+    """Whether a CSR address is architecturally read-only (bits [11:10]=0b11)."""
+    return (csr >> 10) & 0x3 == 0x3
+
+
+# ---------------------------------------------------------------------------
+# mstatus / sstatus field layout (RV64)
+# ---------------------------------------------------------------------------
+
+MSTATUS_SIE = 1 << 1
+MSTATUS_MIE = 1 << 3
+MSTATUS_SPIE = 1 << 5
+MSTATUS_UBE = 1 << 6
+MSTATUS_MPIE = 1 << 7
+MSTATUS_SPP = 1 << 8
+MSTATUS_VS = 0x3 << 9
+MSTATUS_MPP = 0x3 << 11
+MSTATUS_FS = 0x3 << 13
+MSTATUS_XS = 0x3 << 15
+MSTATUS_MPRV = 1 << 17
+MSTATUS_SUM = 1 << 18
+MSTATUS_MXR = 1 << 19
+MSTATUS_TVM = 1 << 20
+MSTATUS_TW = 1 << 21
+MSTATUS_TSR = 1 << 22
+MSTATUS_UXL = 0x3 << 32
+MSTATUS_SXL = 0x3 << 34
+MSTATUS_SBE = 1 << 36
+MSTATUS_MBE = 1 << 37
+MSTATUS_SD = 1 << 63
+
+MSTATUS_MPP_SHIFT = 11
+MSTATUS_SPP_SHIFT = 8
+MSTATUS_FS_SHIFT = 13
+MSTATUS_VS_SHIFT = 9
+MSTATUS_XS_SHIFT = 15
+
+# Fields of mstatus visible through sstatus.
+SSTATUS_MASK = (
+    MSTATUS_SIE
+    | MSTATUS_SPIE
+    | MSTATUS_UBE
+    | MSTATUS_SPP
+    | MSTATUS_VS
+    | MSTATUS_FS
+    | MSTATUS_XS
+    | MSTATUS_SUM
+    | MSTATUS_MXR
+    | MSTATUS_UXL
+    | MSTATUS_SD
+)
+
+# Writable mstatus fields on an RV64 S+U machine without F/V (FS/VS kept
+# writable for context-switch realism; XS is read-only zero).
+MSTATUS_WRITABLE_MASK = (
+    MSTATUS_SIE
+    | MSTATUS_MIE
+    | MSTATUS_SPIE
+    | MSTATUS_MPIE
+    | MSTATUS_SPP
+    | MSTATUS_VS
+    | MSTATUS_MPP
+    | MSTATUS_FS
+    | MSTATUS_MPRV
+    | MSTATUS_SUM
+    | MSTATUS_MXR
+    | MSTATUS_TVM
+    | MSTATUS_TW
+    | MSTATUS_TSR
+)
+
+XL_64 = 2  # UXL/SXL encoding for XLEN=64
+
+# ---------------------------------------------------------------------------
+# Interrupt bit positions (mip/mie/sip/sie) and cause codes
+# ---------------------------------------------------------------------------
+
+IRQ_SSI = 1  # supervisor software interrupt
+IRQ_VSSI = 2
+IRQ_MSI = 3  # machine software interrupt
+IRQ_STI = 5  # supervisor timer interrupt
+IRQ_VSTI = 6
+IRQ_MTI = 7  # machine timer interrupt
+IRQ_SEI = 9  # supervisor external interrupt
+IRQ_VSEI = 10
+IRQ_MEI = 11  # machine external interrupt
+IRQ_SGEI = 12
+
+MIP_SSIP = 1 << IRQ_SSI
+MIP_MSIP = 1 << IRQ_MSI
+MIP_STIP = 1 << IRQ_STI
+MIP_MTIP = 1 << IRQ_MTI
+MIP_SEIP = 1 << IRQ_SEI
+MIP_MEIP = 1 << IRQ_MEI
+
+# All interrupts defined on an S+U machine.
+MIP_MASK = MIP_SSIP | MIP_MSIP | MIP_STIP | MIP_MTIP | MIP_SEIP | MIP_MEIP
+# Interrupt bits that S-mode may see/control.
+SIP_MASK = MIP_SSIP | MIP_STIP | MIP_SEIP
+# mip bits directly writable by M-mode software (timer/external pins are
+# wired from the CLINT/PLIC; SEIP is software-writable as an OR-input).
+MIP_WRITABLE = MIP_SSIP | MIP_SEIP | MIP_STIP
+
+# Machine interrupt priority order (highest first) per the privileged spec.
+INTERRUPT_PRIORITY = (
+    IRQ_MEI,
+    IRQ_MSI,
+    IRQ_MTI,
+    IRQ_SEI,
+    IRQ_SSI,
+    IRQ_STI,
+)
+
+INTERRUPT_BIT = 1 << (XLEN - 1)
+
+
+class TrapCause(enum.IntEnum):
+    """Synchronous exception cause codes (mcause without the interrupt bit)."""
+
+    INSTRUCTION_ADDRESS_MISALIGNED = 0
+    INSTRUCTION_ACCESS_FAULT = 1
+    ILLEGAL_INSTRUCTION = 2
+    BREAKPOINT = 3
+    LOAD_ADDRESS_MISALIGNED = 4
+    LOAD_ACCESS_FAULT = 5
+    STORE_ADDRESS_MISALIGNED = 6
+    STORE_ACCESS_FAULT = 7
+    ECALL_FROM_U = 8
+    ECALL_FROM_S = 9
+    ECALL_FROM_VS = 10
+    ECALL_FROM_M = 11
+    INSTRUCTION_PAGE_FAULT = 12
+    LOAD_PAGE_FAULT = 13
+    STORE_PAGE_FAULT = 15
+    INSTRUCTION_GUEST_PAGE_FAULT = 20
+    LOAD_GUEST_PAGE_FAULT = 21
+    VIRTUAL_INSTRUCTION = 22
+    STORE_GUEST_PAGE_FAULT = 23
+
+
+class InterruptCause(enum.IntEnum):
+    """Interrupt cause codes (mcause with the interrupt bit set)."""
+
+    SUPERVISOR_SOFTWARE = IRQ_SSI
+    MACHINE_SOFTWARE = IRQ_MSI
+    SUPERVISOR_TIMER = IRQ_STI
+    MACHINE_TIMER = IRQ_MTI
+    SUPERVISOR_EXTERNAL = IRQ_SEI
+    MACHINE_EXTERNAL = IRQ_MEI
+
+
+# Exceptions that can legally be delegated through medeleg.
+MEDELEG_MASK = (
+    (1 << TrapCause.INSTRUCTION_ADDRESS_MISALIGNED)
+    | (1 << TrapCause.INSTRUCTION_ACCESS_FAULT)
+    | (1 << TrapCause.ILLEGAL_INSTRUCTION)
+    | (1 << TrapCause.BREAKPOINT)
+    | (1 << TrapCause.LOAD_ADDRESS_MISALIGNED)
+    | (1 << TrapCause.LOAD_ACCESS_FAULT)
+    | (1 << TrapCause.STORE_ADDRESS_MISALIGNED)
+    | (1 << TrapCause.STORE_ACCESS_FAULT)
+    | (1 << TrapCause.ECALL_FROM_U)
+    | (1 << TrapCause.ECALL_FROM_S)
+    | (1 << TrapCause.INSTRUCTION_PAGE_FAULT)
+    | (1 << TrapCause.LOAD_PAGE_FAULT)
+    | (1 << TrapCause.STORE_PAGE_FAULT)
+)
+
+# Interrupts that can be delegated through mideleg (the S-level ones).
+MIDELEG_MASK = SIP_MASK
+
+
+# ---------------------------------------------------------------------------
+# misa
+# ---------------------------------------------------------------------------
+
+
+def misa_extension(letter: str) -> int:
+    """Bit mask of a single-letter ISA extension in ``misa``."""
+    return 1 << (ord(letter.upper()) - ord("A"))
+
+
+MISA_MXL_64 = XL_64 << (XLEN - 2)
+# RV64IMASU: integer, multiply/divide, atomics (decoded but minimal),
+# supervisor mode, user mode.
+MISA_DEFAULT = (
+    MISA_MXL_64
+    | misa_extension("I")
+    | misa_extension("M")
+    | misa_extension("A")
+    | misa_extension("S")
+    | misa_extension("U")
+)
+MISA_H = misa_extension("H")
+
+
+# ---------------------------------------------------------------------------
+# PMP encodings
+# ---------------------------------------------------------------------------
+
+PMP_R = 0x01
+PMP_W = 0x02
+PMP_X = 0x04
+PMP_A_MASK = 0x18
+PMP_A_SHIFT = 3
+PMP_L = 0x80
+# Bits 5 and 6 of a pmpcfg byte are reserved and read-only zero.
+PMP_CFG_VALID_MASK = PMP_R | PMP_W | PMP_X | PMP_A_MASK | PMP_L
+
+
+class PmpAddressMode(enum.IntEnum):
+    OFF = 0
+    TOR = 1
+    NA4 = 2
+    NAPOT = 3
+
+
+class AccessType(enum.Enum):
+    """Type of a memory access, for PMP permission checks."""
+
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+
+
+# pmpaddr registers hold bits [55:2] of the address on RV64 (G=0).
+PMP_ADDR_BITS = 54
+PMP_ADDR_MASK = (1 << PMP_ADDR_BITS) - 1
+
+
+# ---------------------------------------------------------------------------
+# mtvec / stvec
+# ---------------------------------------------------------------------------
+
+
+class TvecMode(enum.IntEnum):
+    DIRECT = 0
+    VECTORED = 1
+
+
+TVEC_MODE_MASK = 0x3
+TVEC_BASE_MASK = XMASK & ~0x3
+
+
+# ---------------------------------------------------------------------------
+# menvcfg
+# ---------------------------------------------------------------------------
+
+MENVCFG_FIOM = 1 << 0
+MENVCFG_STCE = 1 << 63  # Sstc enable

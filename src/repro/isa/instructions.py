@@ -1,0 +1,118 @@
+"""Instruction representation shared by the decoder, assembler, and emulators.
+
+An :class:`Instruction` is the decoded form of a 32-bit RV64 instruction.
+The same representation is consumed by the reference specification
+(:mod:`repro.spec`) and by Miralis's privileged-instruction emulator
+(:mod:`repro.core.emulator`), mirroring how both the Sail model and the Rust
+emulator in the paper operate on decoded instructions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# Register ABI names, indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+REGISTER_NUMBERS = {name: index for index, name in enumerate(ABI_NAMES)}
+REGISTER_NUMBERS.update({f"x{i}": i for i in range(32)})
+REGISTER_NUMBERS["fp"] = 8
+
+
+# Mnemonics considered *privileged* in the paper's sense: they trap when
+# executed in vM-mode (physical U-mode) and are emulated by the VFM.
+PRIVILEGED_MNEMONICS = frozenset(
+    {
+        "csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci",
+        "mret", "sret", "wfi", "sfence.vma",
+        "fence.i",  # trivially emulable; included for completeness
+        "ecall",  # traps by design at every level
+    }
+)
+
+CSR_MNEMONICS = frozenset(
+    {"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"}
+)
+
+LOAD_MNEMONICS = frozenset({"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"})
+STORE_MNEMONICS = frozenset({"sb", "sh", "sw", "sd"})
+
+LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lwu": 4, "ld": 8}
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+LOAD_SIGNED = {"lb": True, "lh": True, "lw": True, "ld": True,
+               "lbu": False, "lhu": False, "lwu": False}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """A decoded RV64 instruction.
+
+    Fields not used by a given mnemonic are zero.  ``imm`` is stored
+    sign-extended as a Python int (may be negative); ``csr`` is the 12-bit
+    CSR address for Zicsr instructions.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+
+    @property
+    def is_privileged(self) -> bool:
+        """Whether this instruction is privileged (traps from vM-mode)."""
+        return self.mnemonic in PRIVILEGED_MNEMONICS
+
+    @property
+    def is_csr_op(self) -> bool:
+        return self.mnemonic in CSR_MNEMONICS
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in LOAD_MNEMONICS
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in STORE_MNEMONICS
+
+    @property
+    def memory_size(self) -> int:
+        """Access size in bytes for load/store instructions."""
+        if self.is_load:
+            return LOAD_SIZES[self.mnemonic]
+        if self.is_store:
+            return STORE_SIZES[self.mnemonic]
+        raise ValueError(f"{self.mnemonic} is not a memory access")
+
+    @property
+    def csr_uses_immediate(self) -> bool:
+        """Whether a CSR instruction takes a 5-bit immediate (csrr?i forms)."""
+        return self.mnemonic in ("csrrwi", "csrrsi", "csrrci")
+
+    def __str__(self) -> str:
+        if self.is_csr_op:
+            src = f"{self.rs1}" if self.csr_uses_immediate else ABI_NAMES[self.rs1]
+            return f"{self.mnemonic} {ABI_NAMES[self.rd]}, {self.csr:#x}, {src}"
+        if self.is_load:
+            return f"{self.mnemonic} {ABI_NAMES[self.rd]}, {self.imm}({ABI_NAMES[self.rs1]})"
+        if self.is_store:
+            return f"{self.mnemonic} {ABI_NAMES[self.rs2]}, {self.imm}({ABI_NAMES[self.rs1]})"
+        return (
+            f"{self.mnemonic} rd={ABI_NAMES[self.rd]} rs1={ABI_NAMES[self.rs1]} "
+            f"rs2={ABI_NAMES[self.rs2]} imm={self.imm}"
+        )
+
+
+class IllegalInstructionError(Exception):
+    """Raised when a 32-bit word does not decode to a supported instruction."""
+
+    def __init__(self, word: int, reason: str = "unsupported encoding"):
+        self.word = word
+        self.reason = reason
+        super().__init__(f"illegal instruction {word:#010x}: {reason}")

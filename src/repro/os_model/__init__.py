@@ -1,0 +1,50 @@
+"""OS model: the S-mode kernel and the paper's workload generators."""
+
+from repro.os_model.bootflow import (
+    BOOT_PHASES,
+    BootPhase,
+    BootResult,
+    DOMINANT_CAUSES,
+    run_boot_flow,
+)
+from repro.os_model.kernel import KernelProgram, Workload
+from repro.os_model.workloads import (
+    APPLICATION_MIXES,
+    COREMARK_PRO,
+    COREMARK_PRO_SUITE,
+    GCC,
+    IOZONE,
+    MEMCACHED,
+    MEMCACHED_APP,
+    MYSQL,
+    REDIS,
+    RV8_SUITE,
+    TrapMix,
+    WorkloadResult,
+    run_compute_workload,
+    run_trap_mix,
+)
+
+__all__ = [
+    "APPLICATION_MIXES",
+    "BOOT_PHASES",
+    "BootPhase",
+    "BootResult",
+    "COREMARK_PRO",
+    "COREMARK_PRO_SUITE",
+    "DOMINANT_CAUSES",
+    "GCC",
+    "IOZONE",
+    "KernelProgram",
+    "MEMCACHED",
+    "MEMCACHED_APP",
+    "MYSQL",
+    "REDIS",
+    "RV8_SUITE",
+    "TrapMix",
+    "Workload",
+    "WorkloadResult",
+    "run_boot_flow",
+    "run_compute_workload",
+    "run_trap_mix",
+]

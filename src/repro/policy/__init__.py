@@ -1,0 +1,58 @@
+"""Isolation policy modules (§5): sandbox, Keystone enclaves, ACE CVMs."""
+
+from repro.policy.ace import (
+    AcePolicy,
+    ConfidentialVm,
+    EXT_COVG,
+    EXT_COVH,
+    EXIT_DONE,
+    EXIT_GUEST_REQUEST,
+    EXIT_INTERRUPTED,
+    FN_DESTROY_TVM,
+    FN_PROMOTE_TO_TVM,
+    FN_TSM_GET_INFO,
+    FN_TVM_VCPU_RUN,
+)
+from repro.policy.default import DefaultPolicy
+from repro.policy.interface import PolicyAction, PolicyModule
+from repro.policy.keystone import (
+    ENCLAVE_INTERRUPTED,
+    EXT_KEYSTONE,
+    Enclave,
+    EnclaveApp,
+    EnclaveState,
+    FN_CREATE_ENCLAVE,
+    FN_DESTROY_ENCLAVE,
+    FN_RESUME_ENCLAVE,
+    FN_RUN_ENCLAVE,
+    KeystonePolicy,
+)
+from repro.policy.sandbox import FirmwareSandboxPolicy
+
+__all__ = [
+    "AcePolicy",
+    "ConfidentialVm",
+    "DefaultPolicy",
+    "ENCLAVE_INTERRUPTED",
+    "EXIT_DONE",
+    "EXIT_GUEST_REQUEST",
+    "EXIT_INTERRUPTED",
+    "EXT_COVG",
+    "EXT_COVH",
+    "EXT_KEYSTONE",
+    "Enclave",
+    "EnclaveApp",
+    "EnclaveState",
+    "FN_CREATE_ENCLAVE",
+    "FN_DESTROY_ENCLAVE",
+    "FN_DESTROY_TVM",
+    "FN_PROMOTE_TO_TVM",
+    "FN_RESUME_ENCLAVE",
+    "FN_RUN_ENCLAVE",
+    "FN_TSM_GET_INFO",
+    "FN_TVM_VCPU_RUN",
+    "FirmwareSandboxPolicy",
+    "KeystonePolicy",
+    "PolicyAction",
+    "PolicyModule",
+]

@@ -1,0 +1,18 @@
+"""The pass-through policy: pure virtualization, no isolation.
+
+Useful as a baseline: Miralis with this policy deprivileges the firmware
+(it runs in vM-mode and cannot touch Miralis) but grants it the same
+memory visibility it would have natively.  All benchmarks that only study
+virtualization overhead can run with either this or the sandbox policy —
+§8.1 notes all paper benchmarks used the sandbox.
+"""
+
+from __future__ import annotations
+
+from repro.policy.interface import PolicyModule
+
+
+class DefaultPolicy(PolicyModule):
+    """No-op policy module: every hook continues, no PMP entries claimed."""
+
+    name = "default"

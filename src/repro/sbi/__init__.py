@@ -1,0 +1,22 @@
+"""RISC-V SBI: call types, constants, and the sandbox register registry."""
+
+from repro.sbi.constants import SbiError
+from repro.sbi.spec_registry import (
+    CallSignature,
+    all_signatures,
+    allowed_read_registers,
+    allowed_write_registers,
+    signature_for,
+)
+from repro.sbi.types import SbiCall, SbiRet
+
+__all__ = [
+    "CallSignature",
+    "SbiCall",
+    "SbiError",
+    "SbiRet",
+    "all_signatures",
+    "allowed_read_registers",
+    "allowed_write_registers",
+    "signature_for",
+]

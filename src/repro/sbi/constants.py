@@ -1,0 +1,120 @@
+"""RISC-V Supervisor Binary Interface (SBI) constants.
+
+Extension IDs, function IDs, and error codes per the RISC-V SBI
+specification v2.0 — the interface through which the OS talks to M-mode
+firmware, and whose five hottest calls Miralis offloads (§3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+# -- extension IDs -----------------------------------------------------------
+
+EXT_BASE = 0x10
+EXT_TIMER = 0x54494D45  # "TIME"
+EXT_IPI = 0x735049  # "sPI"
+EXT_RFENCE = 0x52464E43  # "RFNC"
+EXT_HSM = 0x48534D  # "HSM"
+EXT_SRST = 0x53525354  # "SRST"
+EXT_PMU = 0x504D55  # "PMU"
+EXT_DBCN = 0x4442434E  # "DBCN"
+EXT_SUSP = 0x53555350  # "SUSP"
+EXT_CPPC = 0x43505043  # "CPPC"
+
+# Legacy extensions (EID == function)
+LEGACY_SET_TIMER = 0x0
+LEGACY_CONSOLE_PUTCHAR = 0x1
+LEGACY_CONSOLE_GETCHAR = 0x2
+LEGACY_CLEAR_IPI = 0x3
+LEGACY_SEND_IPI = 0x4
+LEGACY_REMOTE_FENCE_I = 0x5
+LEGACY_REMOTE_SFENCE_VMA = 0x6
+LEGACY_REMOTE_SFENCE_VMA_ASID = 0x7
+LEGACY_SHUTDOWN = 0x8
+
+LEGACY_EXTENSIONS = frozenset(range(0x0, 0x9))
+
+# -- function IDs ---------------------------------------------------------
+
+# Base extension
+FN_BASE_GET_SPEC_VERSION = 0
+FN_BASE_GET_IMPL_ID = 1
+FN_BASE_GET_IMPL_VERSION = 2
+FN_BASE_PROBE_EXTENSION = 3
+FN_BASE_GET_MVENDORID = 4
+FN_BASE_GET_MARCHID = 5
+FN_BASE_GET_MIMPID = 6
+
+# Timer extension
+FN_TIMER_SET_TIMER = 0
+
+# IPI extension
+FN_IPI_SEND_IPI = 0
+
+# RFENCE extension
+FN_RFENCE_FENCE_I = 0
+FN_RFENCE_SFENCE_VMA = 1
+FN_RFENCE_SFENCE_VMA_ASID = 2
+
+# HSM extension
+FN_HSM_HART_START = 0
+FN_HSM_HART_STOP = 1
+FN_HSM_HART_GET_STATUS = 2
+FN_HSM_HART_SUSPEND = 3
+
+# SRST extension
+FN_SRST_SYSTEM_RESET = 0
+
+# DBCN extension
+FN_DBCN_CONSOLE_WRITE = 0
+FN_DBCN_CONSOLE_READ = 1
+FN_DBCN_CONSOLE_WRITE_BYTE = 2
+
+# -- error codes ------------------------------------------------------------
+
+
+class SbiError(enum.IntEnum):
+    SUCCESS = 0
+    ERR_FAILED = -1
+    ERR_NOT_SUPPORTED = -2
+    ERR_INVALID_PARAM = -3
+    ERR_DENIED = -4
+    ERR_INVALID_ADDRESS = -5
+    ERR_ALREADY_AVAILABLE = -6
+    ERR_ALREADY_STARTED = -7
+    ERR_ALREADY_STOPPED = -8
+    ERR_NO_SHMEM = -9
+
+
+# HSM hart states
+HSM_STARTED = 0
+HSM_STOPPED = 1
+HSM_START_PENDING = 2
+HSM_STOP_PENDING = 3
+HSM_SUSPENDED = 4
+
+# SBI implementation IDs (reported by get_impl_id)
+IMPL_ID_BBL = 0
+IMPL_ID_OPENSBI = 1
+IMPL_ID_XVISOR = 2
+IMPL_ID_KVM = 3
+IMPL_ID_RUSTSBI = 4
+IMPL_ID_DIOSIX = 5
+
+SBI_SPEC_VERSION_2_0 = (2 << 24) | 0
+
+EXTENSION_NAMES = {
+    EXT_BASE: "base",
+    EXT_TIMER: "timer",
+    EXT_IPI: "ipi",
+    EXT_RFENCE: "rfence",
+    EXT_HSM: "hsm",
+    EXT_SRST: "srst",
+    EXT_PMU: "pmu",
+    EXT_DBCN: "debug-console",
+    EXT_SUSP: "suspend",
+    LEGACY_SET_TIMER: "legacy-set-timer",
+    LEGACY_CONSOLE_PUTCHAR: "legacy-console-putchar",
+    LEGACY_SEND_IPI: "legacy-send-ipi",
+}

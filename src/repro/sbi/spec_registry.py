@@ -1,0 +1,131 @@
+"""Per-SBI-call register allow-lists.
+
+§5.2 of the paper: the firmware sandbox policy passes only a well-defined
+set of registers as SBI call arguments, with the allow-list *generated from
+the SBI specification*.  This module is that registry: for every SBI call
+the platforms use, the set of argument registers the call consumes and the
+registers it may legally clobber on return.
+
+Register numbers follow the standard ABI: a0=x10 ... a7=x17.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sbi import constants as sbi
+
+A0, A1, A2, A3, A4, A5, A6, A7 = range(10, 18)
+
+#: Registers every SBI call may read (extension/function IDs) and write
+#: (error/value pair), per the SBI binary encoding chapter.
+ALWAYS_READ = frozenset({A6, A7})
+ALWAYS_WRITE = frozenset({A0, A1})
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSignature:
+    """Argument-register usage of one SBI call."""
+
+    eid: int
+    fid: int
+    num_args: int
+    description: str
+
+    @property
+    def readable(self) -> frozenset[int]:
+        """Registers the firmware may read for this call."""
+        return ALWAYS_READ | frozenset(range(A0, A0 + self.num_args))
+
+    @property
+    def writable(self) -> frozenset[int]:
+        """Registers the firmware may modify when returning from this call."""
+        return ALWAYS_WRITE
+
+
+_SIGNATURES: dict[tuple[int, int], CallSignature] = {}
+
+
+def _register(eid: int, fid: int, num_args: int, description: str) -> None:
+    _SIGNATURES[(eid, fid)] = CallSignature(eid, fid, num_args, description)
+
+
+# Base extension: no arguments except probe_extension(extension_id).
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_SPEC_VERSION, 0, "get_spec_version()")
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_IMPL_ID, 0, "get_impl_id()")
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_IMPL_VERSION, 0, "get_impl_version()")
+_register(sbi.EXT_BASE, sbi.FN_BASE_PROBE_EXTENSION, 1, "probe_extension(eid)")
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_MVENDORID, 0, "get_mvendorid()")
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_MARCHID, 0, "get_marchid()")
+_register(sbi.EXT_BASE, sbi.FN_BASE_GET_MIMPID, 0, "get_mimpid()")
+
+# Timer
+_register(sbi.EXT_TIMER, sbi.FN_TIMER_SET_TIMER, 1, "set_timer(stime_value)")
+
+# IPI
+_register(sbi.EXT_IPI, sbi.FN_IPI_SEND_IPI, 2, "send_ipi(hart_mask, hart_mask_base)")
+
+# RFENCE
+_register(sbi.EXT_RFENCE, sbi.FN_RFENCE_FENCE_I, 2, "remote_fence_i(mask, base)")
+_register(sbi.EXT_RFENCE, sbi.FN_RFENCE_SFENCE_VMA, 4,
+          "remote_sfence_vma(mask, base, start, size)")
+_register(sbi.EXT_RFENCE, sbi.FN_RFENCE_SFENCE_VMA_ASID, 5,
+          "remote_sfence_vma_asid(mask, base, start, size, asid)")
+
+# HSM
+_register(sbi.EXT_HSM, sbi.FN_HSM_HART_START, 3, "hart_start(hartid, start_addr, opaque)")
+_register(sbi.EXT_HSM, sbi.FN_HSM_HART_STOP, 0, "hart_stop()")
+_register(sbi.EXT_HSM, sbi.FN_HSM_HART_GET_STATUS, 1, "hart_get_status(hartid)")
+_register(sbi.EXT_HSM, sbi.FN_HSM_HART_SUSPEND, 3, "hart_suspend(type, resume_addr, opaque)")
+
+# SRST
+_register(sbi.EXT_SRST, sbi.FN_SRST_SYSTEM_RESET, 2, "system_reset(type, reason)")
+
+# Debug console
+_register(sbi.EXT_DBCN, sbi.FN_DBCN_CONSOLE_WRITE, 3,
+          "console_write(num_bytes, base_lo, base_hi)")
+_register(sbi.EXT_DBCN, sbi.FN_DBCN_CONSOLE_WRITE_BYTE, 1, "console_write_byte(byte)")
+
+# Legacy calls (single-register conventions).
+_register(sbi.LEGACY_SET_TIMER, 0, 1, "legacy set_timer(stime_value)")
+_register(sbi.LEGACY_CONSOLE_PUTCHAR, 0, 1, "legacy console_putchar(ch)")
+_register(sbi.LEGACY_CONSOLE_GETCHAR, 0, 0, "legacy console_getchar()")
+_register(sbi.LEGACY_CLEAR_IPI, 0, 0, "legacy clear_ipi()")
+_register(sbi.LEGACY_SEND_IPI, 0, 1, "legacy send_ipi(mask_addr)")
+_register(sbi.LEGACY_REMOTE_FENCE_I, 0, 1, "legacy remote_fence_i(mask_addr)")
+_register(sbi.LEGACY_SHUTDOWN, 0, 0, "legacy shutdown()")
+
+
+def signature_for(eid: int, fid: int) -> CallSignature | None:
+    """Signature of an SBI call, or None if the call is unknown.
+
+    Legacy extensions ignore ``fid``.
+    """
+    if eid in sbi.LEGACY_EXTENSIONS:
+        return _SIGNATURES.get((eid, 0))
+    return _SIGNATURES.get((eid, fid))
+
+
+def allowed_read_registers(eid: int, fid: int) -> frozenset[int]:
+    """Argument registers the sandbox policy exposes to the firmware.
+
+    Unknown calls get the conservative minimum (a6/a7 only), so an
+    unrecognized vendor extension cannot be used to exfiltrate OS register
+    state.
+    """
+    signature = signature_for(eid, fid)
+    if signature is None:
+        return ALWAYS_READ
+    return signature.readable
+
+
+def allowed_write_registers(eid: int, fid: int) -> frozenset[int]:
+    """Registers the firmware may clobber when returning from the call."""
+    signature = signature_for(eid, fid)
+    if signature is None:
+        return ALWAYS_WRITE
+    return signature.writable
+
+
+def all_signatures() -> list[CallSignature]:
+    return sorted(_SIGNATURES.values(), key=lambda s: (s.eid, s.fid))

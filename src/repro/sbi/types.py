@@ -1,0 +1,65 @@
+"""SBI call/return types shared by firmware, the VFM fast path, and policies."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sbi.constants import EXTENSION_NAMES, SbiError
+
+
+@dataclasses.dataclass(frozen=True)
+class SbiCall:
+    """A decoded SBI call (registers at the time of the S-mode ecall).
+
+    Per the SBI calling convention: a7 holds the extension ID, a6 the
+    function ID, and a0-a5 the arguments.
+    """
+
+    eid: int
+    fid: int
+    args: tuple[int, ...] = ()
+
+    @classmethod
+    def from_regs(cls, regs: list[int]) -> "SbiCall":
+        """Decode from a 32-entry register file snapshot."""
+        return cls(
+            eid=regs[17],
+            fid=regs[16],
+            args=tuple(regs[10:16]),
+        )
+
+    def arg(self, index: int) -> int:
+        return self.args[index] if index < len(self.args) else 0
+
+    @property
+    def name(self) -> str:
+        base = EXTENSION_NAMES.get(self.eid, f"ext:{self.eid:#x}")
+        return f"{base}.{self.fid}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class SbiRet:
+    """An SBI return value pair (a0 = error, a1 = value)."""
+
+    error: int = int(SbiError.SUCCESS)
+    value: int = 0
+
+    @classmethod
+    def success(cls, value: int = 0) -> "SbiRet":
+        return cls(int(SbiError.SUCCESS), value)
+
+    @classmethod
+    def failure(cls, error: SbiError) -> "SbiRet":
+        return cls(int(error), 0)
+
+    @property
+    def is_success(self) -> bool:
+        return self.error == int(SbiError.SUCCESS)
+
+    def to_u64(self) -> tuple[int, int]:
+        """(a0, a1) as unsigned 64-bit values."""
+        mask = (1 << 64) - 1
+        return self.error & mask, self.value & mask

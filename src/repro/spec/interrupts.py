@@ -1,0 +1,65 @@
+"""Interrupt selection semantics of the reference machine.
+
+Given the pending (mip), enabled (mie), delegated (mideleg) interrupt sets
+and the hart's mode and global enables (mstatus.MIE/SIE), decide which
+interrupt — if any — must be taken next, following the privileged spec's
+priority order (MEI > MSI > MTI > SEI > SSI > STI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import constants as c
+from repro.spec.state import MachineState
+from repro.spec.traps import Trap
+
+
+def pending_interrupt_for(
+    mip: int,
+    mie: int,
+    mideleg: int,
+    mode: c.PrivilegeLevel,
+    mstatus_mie: bool,
+    mstatus_sie: bool,
+) -> Optional[int]:
+    """Pure-function core of interrupt selection (used by verification too).
+
+    Returns the interrupt number to take, or None.
+    """
+    ready = mip & mie & c.MIP_MASK
+    if not ready:
+        return None
+    machine_level = ready & ~mideleg
+    supervisor_level = ready & mideleg
+    # M-level interrupts: taken from any mode below M, or from M if MIE.
+    m_enabled = mode < c.M_MODE or (mode == c.M_MODE and mstatus_mie)
+    # S-level (delegated) interrupts: never taken while in M-mode.
+    s_enabled = mode < c.S_MODE or (mode == c.S_MODE and mstatus_sie)
+    # Interrupts destined for M-mode take precedence over all interrupts
+    # destined for S-mode, regardless of per-interrupt priority.
+    if m_enabled:
+        for irq in c.INTERRUPT_PRIORITY:
+            if machine_level & (1 << irq):
+                return irq
+    if s_enabled:
+        for irq in c.INTERRUPT_PRIORITY:
+            if supervisor_level & (1 << irq):
+                return irq
+    return None
+
+
+def pending_interrupt(state: MachineState) -> Optional[Trap]:
+    """Interrupt the reference machine must take next, or None."""
+    mstatus = state.csr.mstatus
+    irq = pending_interrupt_for(
+        mip=state.csr.mip,
+        mie=state.csr.mie,
+        mideleg=state.csr.mideleg,
+        mode=state.mode,
+        mstatus_mie=bool(mstatus & c.MSTATUS_MIE),
+        mstatus_sie=bool(mstatus & c.MSTATUS_SIE),
+    )
+    if irq is None:
+        return None
+    return Trap(cause=irq, is_interrupt=True)

@@ -1,0 +1,126 @@
+"""Reference Physical Memory Protection check (the Sail model's ``pmpCheck``).
+
+Implements the PMP matching and permission rules of the privileged spec:
+entries are evaluated in priority order (lowest index first), the first
+entry whose region overlaps the access determines the permission, accesses
+that only partially match an entry fail, and M-mode accesses succeed by
+default unless they match a locked entry.
+
+This function is the oracle for the *faithful execution* criterion
+(Definition 2): Miralis's physical PMP programming is verified by feeding
+both virtual and physical PMP register files through this same check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.bits import get_field, napot_range
+from repro.isa.constants import (
+    M_MODE,
+    PMP_A_MASK,
+    PMP_L,
+    PMP_R,
+    PMP_W,
+    PMP_X,
+    AccessType,
+    PmpAddressMode,
+    PrivilegeLevel,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PmpEntry:
+    """A single decoded PMP entry (one cfg byte plus its address register)."""
+
+    cfg: int
+    addr: int
+
+    @property
+    def mode(self) -> PmpAddressMode:
+        return PmpAddressMode(get_field(self.cfg, PMP_A_MASK))
+
+    @property
+    def locked(self) -> bool:
+        return bool(self.cfg & PMP_L)
+
+    def byte_range(self, previous_addr: int) -> tuple[int, int] | None:
+        """The [start, end) byte range this entry covers, or None if OFF.
+
+        ``previous_addr`` is the preceding entry's pmpaddr value (0 for
+        entry 0 — the hardwired bottom of a TOR range, the detail §4.2 of
+        the paper dedicates a physical entry to preserving).
+        """
+        mode = self.mode
+        if mode == PmpAddressMode.OFF:
+            return None
+        if mode == PmpAddressMode.TOR:
+            start = previous_addr << 2
+            end = self.addr << 2
+            if end <= start:
+                return (0, 0)
+            return (start, end)
+        if mode == PmpAddressMode.NA4:
+            start = self.addr << 2
+            return (start, start + 4)
+        base, size = napot_range(self.addr)
+        return (base, base + size)
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchResult:
+    """Outcome of a PMP check."""
+
+    allowed: bool
+    matched_index: int | None  # None when no entry matched
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+def entry_permits(cfg: int, access: AccessType, mode: PrivilegeLevel) -> bool:
+    """Whether a matched entry's permission bits allow the access."""
+    if mode == M_MODE and not cfg & PMP_L:
+        return True  # unlocked entries do not apply to M-mode
+    if access == AccessType.READ:
+        return bool(cfg & PMP_R)
+    if access == AccessType.WRITE:
+        return bool(cfg & PMP_W)
+    return bool(cfg & PMP_X)
+
+
+def pmp_check(
+    pmpcfg: list[int],
+    pmpaddr: list[int],
+    address: int,
+    size: int,
+    access: AccessType,
+    mode: PrivilegeLevel,
+    pmp_count: int | None = None,
+) -> MatchResult:
+    """Check an access of ``size`` bytes at ``address`` against the PMP.
+
+    Mirrors the reference model: the lowest-numbered entry that matches any
+    byte of the access wins; the access must be fully contained in that
+    entry; if no entry matches, M-mode succeeds and S/U-mode fails whenever
+    at least one PMP entry is implemented (and succeeds on a PMP-less
+    platform).
+    """
+    count = pmp_count if pmp_count is not None else len(pmpcfg)
+    access_start, access_end = address, address + size
+    for index in range(count):
+        previous = pmpaddr[index - 1] if index > 0 else 0
+        covered = PmpEntry(pmpcfg[index], pmpaddr[index]).byte_range(previous)
+        if covered is None:
+            continue
+        start, end = covered
+        if access_end <= start or access_start >= end:
+            continue  # no overlap
+        if not (start <= access_start and access_end <= end):
+            return MatchResult(False, index)  # partial match always fails
+        return MatchResult(
+            entry_permits(pmpcfg[index], access, mode), index
+        )
+    if mode == M_MODE or count == 0:
+        return MatchResult(True, None)
+    return MatchResult(False, None)

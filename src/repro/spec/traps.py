@@ -1,0 +1,113 @@
+"""Trap taking, delegation, and xRET semantics of the reference machine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa import constants as c
+from repro.isa.bits import get_field, set_field
+from repro.spec.state import MachineState
+
+
+@dataclasses.dataclass(frozen=True)
+class Trap:
+    """A trap about to be delivered."""
+
+    cause: int  # exception code or interrupt number (without the bit 63 flag)
+    is_interrupt: bool = False
+    tval: int = 0
+
+    @property
+    def mcause_value(self) -> int:
+        return (c.INTERRUPT_BIT | self.cause) if self.is_interrupt else self.cause
+
+    def __str__(self) -> str:
+        if self.is_interrupt:
+            return f"interrupt {c.InterruptCause(self.cause).name}"
+        try:
+            return f"exception {c.TrapCause(self.cause).name}"
+        except ValueError:
+            return f"exception code {self.cause}"
+
+
+def trap_target_mode(state: MachineState, trap: Trap) -> c.PrivilegeLevel:
+    """Privilege mode a trap is taken to, honouring medeleg/mideleg.
+
+    Traps from M-mode always go to M-mode; traps from S/U-mode go to S-mode
+    when the corresponding delegation bit is set.
+    """
+    if state.mode == c.M_MODE:
+        return c.M_MODE
+    deleg = state.csr.mideleg if trap.is_interrupt else state.csr.medeleg
+    if deleg & (1 << trap.cause):
+        return c.S_MODE
+    return c.M_MODE
+
+
+def _vectored_target(tvec: int, trap: Trap) -> int:
+    base = tvec & c.TVEC_BASE_MASK
+    if trap.is_interrupt and (tvec & c.TVEC_MODE_MASK) == c.TvecMode.VECTORED:
+        return base + 4 * trap.cause
+    return base
+
+
+def take_trap(state: MachineState, trap: Trap) -> c.PrivilegeLevel:
+    """Deliver a trap: update xepc/xcause/xtval/mstatus, jump to the vector.
+
+    Returns the privilege mode the trap was taken to.
+    """
+    target = trap_target_mode(state, trap)
+    mstatus = state.csr.mstatus
+    if target == c.M_MODE:
+        state.csr.mepc = state.pc & ~0x3
+        state.csr.mcause = trap.mcause_value
+        state.csr.write(c.CSR_MTVAL, trap.tval)
+        mstatus = set_field(mstatus, c.MSTATUS_MPP, int(state.mode))
+        mie = get_field(mstatus, c.MSTATUS_MIE)
+        mstatus = set_field(mstatus, c.MSTATUS_MPIE, mie)
+        mstatus = set_field(mstatus, c.MSTATUS_MIE, 0)
+        state.pc = _vectored_target(state.csr.mtvec, trap)
+    else:
+        state.csr.sepc = state.pc & ~0x3
+        state.csr.scause = trap.mcause_value
+        state.csr.write(c.CSR_STVAL, trap.tval)
+        mstatus = set_field(mstatus, c.MSTATUS_SPP, int(state.mode) & 1)
+        sie = get_field(mstatus, c.MSTATUS_SIE)
+        mstatus = set_field(mstatus, c.MSTATUS_SPIE, sie)
+        mstatus = set_field(mstatus, c.MSTATUS_SIE, 0)
+        state.pc = _vectored_target(state.csr.stvec, trap)
+    # Bypass legalization: trap delivery may set any MPP among supported.
+    state.csr.mstatus = mstatus
+    state.mode = target
+    state.waiting_for_interrupt = False
+    return target
+
+
+def execute_mret(state: MachineState) -> None:
+    """``mret`` semantics: return from an M-mode trap handler."""
+    mstatus = state.csr.mstatus
+    previous = c.PrivilegeLevel(get_field(mstatus, c.MSTATUS_MPP))
+    mpie = get_field(mstatus, c.MSTATUS_MPIE)
+    mstatus = set_field(mstatus, c.MSTATUS_MIE, mpie)
+    mstatus = set_field(mstatus, c.MSTATUS_MPIE, 1)
+    mstatus = set_field(mstatus, c.MSTATUS_MPP, int(c.U_MODE))
+    if previous != c.M_MODE:
+        mstatus &= ~c.MSTATUS_MPRV
+    state.csr.mstatus = mstatus
+    state.mode = previous
+    state.pc = state.csr.mepc
+
+
+def execute_sret(state: MachineState) -> None:
+    """``sret`` semantics: return from an S-mode trap handler."""
+    mstatus = state.csr.mstatus
+    previous = c.PrivilegeLevel(get_field(mstatus, c.MSTATUS_SPP))
+    spie = get_field(mstatus, c.MSTATUS_SPIE)
+    mstatus = set_field(mstatus, c.MSTATUS_SIE, spie)
+    mstatus = set_field(mstatus, c.MSTATUS_SPIE, 1)
+    mstatus = set_field(mstatus, c.MSTATUS_SPP, int(c.U_MODE))
+    if previous != c.M_MODE:  # always true for sret; kept for symmetry
+        mstatus &= ~c.MSTATUS_MPRV
+    state.csr.mstatus = mstatus
+    state.mode = previous
+    state.pc = state.csr.sepc

@@ -1,0 +1,234 @@
+"""System-level differential fuzzing: native vs. virtualized execution.
+
+The §6 checkers verify the monitor's *components* against the
+specification.  This module closes the loop at system level, in the
+spirit of the hi-fi/lo-fi differential testing the paper cites [22, 72]:
+generate a random-but-valid guest scenario (firmware personality plus an
+OS operation sequence), run it on the native deployment and under
+Miralis, and compare everything the OS can observe — register results,
+memory contents, console output, interrupt counts.
+
+Any divergence is a virtualization hole.  The generator is seeded and the
+simulator deterministic, so every finding replays exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from repro.firmware.opensbi import OpenSbiFirmware
+from repro.hart.program import MachineHalted
+from repro.isa import constants as c
+from repro.spec.platform import PlatformConfig, VISIONFIVE2
+from repro.system import build_native, build_virtualized
+
+U64 = (1 << 64) - 1
+
+#: OS-level actions the fuzzer composes into scenarios.  Each entry is
+#: (name, weight); the weights roughly follow the Figure 3 mix so fuzzing
+#: pressure lands where real systems trap.
+ACTIONS = (
+    ("read_time", 8),
+    ("set_timer", 3),
+    ("send_ipi", 2),
+    ("remote_fence", 1),
+    ("misaligned_load", 3),
+    ("misaligned_store", 3),
+    ("aligned_memory", 4),
+    ("csr_toggle", 3),
+    ("sbi_probe", 2),
+    ("unknown_sbi", 1),
+    ("putchar", 2),
+    ("compute", 6),
+    ("sscratch_roundtrip", 2),
+    ("satp_write", 1),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A reproducible fuzz case."""
+
+    seed: int
+    length: int = 40
+    platform: PlatformConfig = VISIONFIVE2
+
+    def actions(self) -> list[tuple[str, int]]:
+        """The (action, operand) sequence this seed denotes."""
+        rng = random.Random(self.seed)
+        names = [name for name, weight in ACTIONS for _ in range(weight)]
+        return [
+            (rng.choice(names), rng.getrandbits(32))
+            for _ in range(self.length)
+        ]
+
+
+@dataclasses.dataclass
+class Observation:
+    """Everything the OS could see after running a scenario."""
+
+    halt_reason: str = ""
+    #: (tag, value) pairs; "time"-tagged values are compared by ordering
+    #: only (simulated time legitimately differs between deployments),
+    #: everything else must match exactly.
+    values: list[tuple[str, int]] = dataclasses.field(default_factory=list)
+    memory: list[int] = dataclasses.field(default_factory=list)
+    console: str = ""
+    timer_ticks: int = 0
+    software_interrupts: int = 0
+    unexpected_kernel_traps: int = 0
+    crashed: Optional[str] = None
+
+    def normalized(self) -> dict:
+        """Comparison view; time-tagged values are reduced to ordering."""
+        times = [value for tag, value in self.values if tag == "time"]
+        exact = [(tag, value) for tag, value in self.values if tag != "time"]
+        monotone = all(b >= a for a, b in zip(times, times[1:]))
+        return {
+            "halt": self.halt_reason,
+            "time_count": len(times),
+            "exact_values": exact,
+            "memory": self.memory,
+            "console": self.console,
+            "ticks>0": self.timer_ticks > 0,
+            "ssi": self.software_interrupts,
+            "bad_traps": self.unexpected_kernel_traps,
+            "crashed": self.crashed,
+            "monotone": monotone,
+        }
+
+
+def _run_scenario(scenario: Scenario, virtualized: bool,
+                  offload: bool = True) -> Observation:
+    observation = Observation()
+    actions = scenario.actions()
+
+    def workload(kernel, ctx):
+        base = kernel.region.base + 0xA000
+        for action, operand in actions:
+            if action == "read_time":
+                observation.values.append(("time", kernel.read_time(ctx)))
+            elif action == "set_timer":
+                # Arm a deadline and wait for it, so the tick lands inside
+                # the scenario on both deployments (otherwise the
+                # deployments' different runtimes would race the deadline,
+                # a timing difference rather than a virtualization hole).
+                now = kernel.read_time(ctx)
+                kernel.sbi_set_timer(ctx, now + 50 + operand % 500)
+                ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+                before = kernel.timer_ticks
+                for _ in range(2_000):  # watchdog: a lost tick is a finding
+                    if kernel.timer_ticks != before:
+                        break
+                    ctx.compute(500)
+                else:
+                    observation.values.append(("stall", 1))
+            elif action == "send_ipi":
+                kernel.sbi_send_ipi(ctx, 0b1, 0)
+                ctx.compute(50)  # delivery point
+            elif action == "remote_fence":
+                kernel.sbi_remote_fence_i(ctx, 0b1, 0)
+                ctx.compute(50)
+            elif action == "misaligned_load":
+                ctx.store(base, operand | (operand << 32), size=8)
+                observation.values.append(
+                    ("mem", ctx.load(base + 1 + operand % 5, size=4))
+                )
+            elif action == "misaligned_store":
+                ctx.store(base + 1 + operand % 5, operand, size=4)
+                observation.values.append(("mem", ctx.load(base, size=8)))
+            elif action == "aligned_memory":
+                offset = (operand % 64) * 8
+                ctx.store(base + offset, operand, size=8)
+                observation.values.append(("mem", ctx.load(base + offset, size=8)))
+            elif action == "csr_toggle":
+                old = ctx.csrr(c.CSR_SSTATUS)
+                ctx.csrw(c.CSR_SSTATUS, old ^ c.MSTATUS_SUM)
+                observation.values.append(("csr", ctx.csrr(c.CSR_SSTATUS)))
+            elif action == "sbi_probe":
+                _err, present = kernel.sbi_call(
+                    ctx, 0x10, 3, 0x54494D45  # probe TIME
+                )
+                observation.values.append(("sbi", present))
+            elif action == "unknown_sbi":
+                error, _ = kernel.sbi_call(ctx, 0x0F00D + operand % 7, 0)
+                observation.values.append(("sbi", error))
+            elif action == "putchar":
+                kernel.sbi_putchar(ctx, 0x41 + operand % 26)
+            elif action == "compute":
+                ctx.compute(100 + operand % 5000)
+            elif action == "sscratch_roundtrip":
+                ctx.csrw(c.CSR_SSCRATCH, operand)
+                observation.values.append(("csr", ctx.csrr(c.CSR_SSCRATCH)))
+            elif action == "satp_write":
+                ctx.csrw(c.CSR_SATP, (8 << 60) | (operand & 0xFFFFF))
+                observation.values.append(("csr", ctx.csrr(c.CSR_SATP)))
+        # Final memory snapshot of the scratch area.
+        observation.memory = [
+            ctx.load(base + offset, size=8) for offset in range(0, 64, 8)
+        ]
+        observation.timer_ticks = kernel.timer_ticks
+        observation.software_interrupts = kernel.software_interrupts
+        observation.unexpected_kernel_traps = len(kernel.unexpected_traps)
+
+    builder = build_virtualized if virtualized else build_native
+    kwargs = {"offload": offload} if virtualized else {}
+    system = builder(scenario.platform, firmware_class=OpenSbiFirmware,
+                     workload=workload, keep_trap_events=False, **kwargs)
+    try:
+        observation.halt_reason = system.run()
+    except MachineHalted as halted:
+        observation.crashed = str(halted)
+    except Exception as error:  # a crash is itself a finding
+        observation.crashed = f"{type(error).__name__}: {error}"
+    observation.console = system.console_output.split("\n", 1)[-1]
+    return observation
+
+
+@dataclasses.dataclass
+class FuzzFinding:
+    """One behavioural divergence between deployments."""
+
+    scenario: Scenario
+    offload: bool
+    native: dict
+    virtualized: dict
+
+    def __str__(self) -> str:
+        differing = {
+            key: (self.native[key], self.virtualized[key])
+            for key in self.native
+            if self.native[key] != self.virtualized[key]
+        }
+        return (
+            f"seed={self.scenario.seed} offload={self.offload}: "
+            f"{differing}"
+        )
+
+
+def fuzz_scenario(seed: int, length: int = 40,
+                  platform: PlatformConfig = VISIONFIVE2,
+                  offload: bool = True) -> Optional[FuzzFinding]:
+    """Run one differential case; returns a finding or None."""
+    scenario = Scenario(seed=seed, length=length, platform=platform)
+    native = _run_scenario(scenario, virtualized=False).normalized()
+    virtual = _run_scenario(scenario, virtualized=True,
+                            offload=offload).normalized()
+    if native != virtual:
+        return FuzzFinding(scenario, offload, native, virtual)
+    return None
+
+
+def fuzz_campaign(seeds: range, length: int = 40,
+                  platform: PlatformConfig = VISIONFIVE2,
+                  offload: bool = True) -> list[FuzzFinding]:
+    """Run a seed range; returns all findings (empty = no divergence)."""
+    findings = []
+    for seed in seeds:
+        finding = fuzz_scenario(seed, length=length, platform=platform,
+                                offload=offload)
+        if finding is not None:
+            findings.append(finding)
+    return findings

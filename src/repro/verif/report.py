@@ -1,0 +1,57 @@
+"""Divergence reporting for the verification harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+@dataclasses.dataclass
+class Divergence:
+    """One observed mismatch between the VFM and the reference spec."""
+
+    check: str
+    field: str
+    expected: object
+    actual: object
+    context: str = ""
+
+    def __str__(self) -> str:
+        def fmt(value):
+            return f"{value:#x}" if isinstance(value, int) else repr(value)
+
+        message = (
+            f"[{self.check}] {self.field}: spec={fmt(self.expected)} "
+            f"vfm={fmt(self.actual)}"
+        )
+        if self.context:
+            message += f" ({self.context})"
+        return message
+
+
+@dataclasses.dataclass
+class CheckReport:
+    """Aggregate result of one verification task (a Table 2 row)."""
+
+    task: str
+    inputs_checked: int = 0
+    divergences: list[Divergence] = dataclasses.field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def record(self, divergence: Optional[Divergence]) -> None:
+        if divergence is not None:
+            self.divergences.append(divergence)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"FAIL ({len(self.divergences)} divergences)"
+        return (
+            f"{self.task}: {status} over {self.inputs_checked} inputs "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+
+    def first_failures(self, limit: int = 5) -> str:
+        return "\n".join(str(d) for d in self.divergences[:limit])

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec.platform import PREMIER_P550, QEMU_VIRT, RVA23_MACHINE, VISIONFIVE2
+
+
+@pytest.fixture
+def vf2():
+    return VISIONFIVE2
+
+
+@pytest.fixture
+def p550():
+    return PREMIER_P550
+
+
+@pytest.fixture
+def qemu():
+    return QEMU_VIRT
+
+
+@pytest.fixture
+def rva23():
+    return RVA23_MACHINE
+
+
+@pytest.fixture(params=["visionfive2", "premier-p550"], ids=["vf2", "p550"])
+def platform(request):
+    """Both evaluation platforms of the paper (Table 3)."""
+    return {"visionfive2": VISIONFIVE2, "premier-p550": PREMIER_P550}[request.param]
+
+
+@pytest.fixture
+def machine(vf2):
+    from repro.hart.machine import Machine
+
+    return Machine(vf2)
+
+
+@pytest.fixture
+def spec_state(vf2):
+    from repro.spec.state import MachineState
+
+    return MachineState(vf2)

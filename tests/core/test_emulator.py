@@ -1,0 +1,170 @@
+"""Unit tests for the privileged-instruction emulator."""
+
+import pytest
+
+from repro.core.emulator import (
+    EmulationResult,
+    VirtualTrapError,
+    emulate_privileged,
+    inject_virtual_trap,
+    virtual_mret,
+    virtual_sret,
+)
+from repro.core.vcpu import VirtContext
+from repro.isa import constants as c
+from repro.isa.instructions import Instruction
+from repro.spec.platform import VISIONFIVE2
+
+U64 = (1 << 64) - 1
+
+
+@pytest.fixture
+def vctx():
+    return VirtContext(VISIONFIVE2)
+
+
+def emulate(vctx, instr, pc=0x8000_0000, gprs=None, mtime=0):
+    gprs = gprs if gprs is not None else [0] * 32
+
+    def read(i):
+        return gprs[i]
+
+    def write(i, v):
+        if i:
+            gprs[i] = v & U64
+
+    result = emulate_privileged(vctx, instr, pc, read, write, mtime)
+    return result, gprs
+
+
+class TestCsrEmulation:
+    def test_csrrw(self, vctx):
+        vctx.mscratch = 0x111
+        gprs = [0] * 32
+        gprs[2] = 0x222
+        result, gprs = emulate(
+            vctx, Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_MSCRATCH), gprs=gprs
+        )
+        assert gprs[1] == 0x111
+        assert vctx.mscratch == 0x222
+        assert result.next_pc == 0x8000_0004
+
+    def test_csrrs_x0_reads_only(self, vctx):
+        vctx.mscratch = 0x42
+        result, gprs = emulate(
+            vctx, Instruction("csrrs", rd=1, rs1=0, csr=c.CSR_MSCRATCH)
+        )
+        assert gprs[1] == 0x42
+        assert vctx.mscratch == 0x42
+
+    def test_csrrwi(self, vctx):
+        result, gprs = emulate(
+            vctx, Instruction("csrrwi", rd=1, rs1=0x15, csr=c.CSR_MSCRATCH)
+        )
+        assert vctx.mscratch == 0x15
+
+    def test_illegal_csr_raises_virtual_trap(self, vctx):
+        with pytest.raises(VirtualTrapError) as excinfo:
+            emulate(vctx, Instruction("csrrw", rd=1, rs1=2, csr=0x123))
+        assert excinfo.value.cause == c.TrapCause.ILLEGAL_INSTRUCTION
+        assert excinfo.value.tval != 0
+
+    def test_write_to_read_only_raises(self, vctx):
+        with pytest.raises(VirtualTrapError):
+            emulate(vctx, Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_MHARTID))
+
+
+class TestVirtualMret:
+    def test_mret_to_supervisor(self, vctx):
+        vctx.mstatus = (vctx.mstatus & ~c.MSTATUS_MPP) | (1 << 11) | c.MSTATUS_MPIE
+        vctx.mepc = 0x8400_0000
+        result, _ = emulate(vctx, Instruction("mret"))
+        assert result.world_switch
+        assert result.new_virtual_mode == c.S_MODE
+        assert result.next_pc == 0x8400_0000
+        assert vctx.mstatus & c.MSTATUS_MIE  # MPIE -> MIE
+        assert (vctx.mstatus >> 11) & 3 == 0  # MPP cleared to U
+
+    def test_mret_staying_in_m(self, vctx):
+        vctx.mepc = 0x8000_1000  # MPP is M at reset
+        result, _ = emulate(vctx, Instruction("mret"))
+        assert not result.world_switch
+        assert result.next_pc == 0x8000_1000
+
+    def test_mret_clears_mprv_leaving_m(self, vctx):
+        vctx.mstatus = (vctx.mstatus & ~c.MSTATUS_MPP) | c.MSTATUS_MPRV
+        virtual_mret(vctx)
+        assert not vctx.mstatus & c.MSTATUS_MPRV
+
+    def test_sret(self, vctx):
+        vctx.mstatus |= c.MSTATUS_SPP | c.MSTATUS_SPIE
+        vctx.sepc = 0x8400_2000
+        result, _ = emulate(vctx, Instruction("sret"))
+        assert result.new_virtual_mode == c.S_MODE
+        assert result.next_pc == 0x8400_2000
+        assert vctx.mstatus & c.MSTATUS_SIE
+
+
+class TestOtherInstructions:
+    def test_wfi(self, vctx):
+        result, _ = emulate(vctx, Instruction("wfi"))
+        assert result.is_wfi
+        assert result.next_pc == 0x8000_0004
+
+    def test_fences(self, vctx):
+        for mnemonic in ("sfence.vma", "fence.i"):
+            result, _ = emulate(vctx, Instruction(mnemonic))
+            assert result.is_fence
+
+    def test_ecall_raises_virtual_trap(self, vctx):
+        with pytest.raises(VirtualTrapError) as excinfo:
+            emulate(vctx, Instruction("ecall"))
+        assert excinfo.value.cause == c.TrapCause.ECALL_FROM_M
+
+    def test_pc_wraps_at_64_bits(self, vctx):
+        result, _ = emulate(
+            vctx, Instruction("csrrs", rd=1, rs1=0, csr=c.CSR_MSCRATCH),
+            pc=U64 - 3,
+        )
+        assert result.next_pc == 0
+
+
+class TestInjection:
+    def test_inject_exception(self, vctx):
+        vctx.mtvec = 0x8000_0100
+        vctx.mstatus |= c.MSTATUS_MIE
+        vctx.virtual_mode = c.S_MODE
+        target = inject_virtual_trap(
+            vctx, c.TrapCause.ECALL_FROM_S, False, 0, 0x8400_1234
+        )
+        assert target == 0x8000_0100
+        assert vctx.mepc == 0x8400_1234
+        assert vctx.mcause == c.TrapCause.ECALL_FROM_S
+        assert vctx.virtual_mode == c.M_MODE
+        assert (vctx.mstatus >> 11) & 3 == 1  # MPP = S
+        assert vctx.mstatus & c.MSTATUS_MPIE
+        assert not vctx.mstatus & c.MSTATUS_MIE
+
+    def test_inject_interrupt_vectored(self, vctx):
+        vctx.mtvec = 0x8000_0101  # vectored mode
+        target = inject_virtual_trap(vctx, c.IRQ_MTI, True, 0, 0x8400_0000)
+        assert target == 0x8000_0100 + 4 * c.IRQ_MTI
+        assert vctx.mcause == c.INTERRUPT_BIT | c.IRQ_MTI
+
+    def test_inject_exception_ignores_vectoring(self, vctx):
+        vctx.mtvec = 0x8000_0101
+        target = inject_virtual_trap(
+            vctx, c.TrapCause.ILLEGAL_INSTRUCTION, False, 0xBEEF, 0x8400_0000
+        )
+        assert target == 0x8000_0100
+        assert vctx.mtval == 0xBEEF
+
+    def test_inject_then_mret_roundtrip(self, vctx):
+        vctx.mtvec = 0x8000_0100
+        vctx.mstatus |= c.MSTATUS_MIE
+        vctx.virtual_mode = c.S_MODE
+        inject_virtual_trap(vctx, c.TrapCause.ECALL_FROM_S, False, 0, 0x8400_1234)
+        mode = virtual_mret(vctx)
+        assert mode == c.S_MODE
+        assert vctx.mepc == 0x8400_1234
+        assert vctx.mstatus & c.MSTATUS_MIE

@@ -1,0 +1,172 @@
+"""Unit tests for the fast path and world-switch subsystems."""
+
+import pytest
+
+from repro.core.vcpu import World
+from repro.isa import constants as c
+from repro.sbi import constants as sbi
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+
+@pytest.fixture
+def booted_system():
+    """A virtualized system paused right at the start of the OS workload."""
+    box = {}
+
+    def workload(kernel, ctx):
+        box["kernel"] = kernel
+        box["ctx"] = ctx
+        hook = box.get("hook")
+        if hook is not None:
+            hook(kernel, ctx)
+
+    system = build_virtualized(VISIONFIVE2, workload=workload)
+    box["system"] = system
+    return system, box
+
+
+def run_with(system_box, hook):
+    system, box = system_box
+    box["hook"] = hook
+    system.run()
+    return system
+
+
+class TestFastPathCounters:
+    def test_time_read_hits(self, booted_system):
+        system = run_with(
+            booted_system,
+            lambda kernel, ctx: [kernel.read_time(ctx) for _ in range(7)],
+        )
+        assert system.miralis.offload.hits["time-read"] >= 7
+
+    def test_set_timer_arms_monitor_deadline(self, booted_system):
+        def hook(kernel, ctx):
+            now = kernel.read_time(ctx)
+            kernel.sbi_set_timer(ctx, now + 100_000)
+            vclint = booted_system[0].miralis.vclint
+            assert booted_system[0].miralis.offload.timer_armed[0]
+            assert vclint.monitor_mtimecmp[0] == now + 100_000
+
+        run_with(booted_system, hook)
+
+    def test_rfence_counts(self, booted_system):
+        system = run_with(
+            booted_system,
+            lambda kernel, ctx: kernel.sbi_remote_fence_i(ctx, 1, 0),
+        )
+        assert system.miralis.offload.hits["rfence"] == 1
+
+    def test_unknown_sbi_not_offloaded(self, booted_system):
+        def hook(kernel, ctx):
+            kernel.sbi_call(ctx, 0x999, 0)
+
+        system = run_with(booted_system, hook)
+        assert system.machine.stats.world_switches >= 2
+
+    def test_hsm_not_offloaded(self, booted_system):
+        """HSM calls are rare and must reach the real firmware."""
+        def hook(kernel, ctx):
+            kernel.sbi_call(ctx, sbi.EXT_HSM, sbi.FN_HSM_HART_GET_STATUS, 0)
+
+        system = run_with(booted_system, hook)
+        assert system.firmware.sbi_counts["hsm.2"] == 1
+
+    def test_csrrw_to_time_not_offloaded(self, booted_system):
+        """A *write* to the time CSR is genuinely illegal: neither the fast
+        path nor the firmware's rdtime emulation may swallow it."""
+        from repro.isa.instructions import Instruction
+
+        counts = {}
+
+        def hook(kernel, ctx):
+            system = booted_system[0]
+            counts["before"] = system.miralis.offload.hits.get("time-read", 0)
+            ctx.exec(Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_TIME))
+
+        system, box = booted_system
+        box["hook"] = hook
+        reason = system.run()
+        assert system.miralis.offload.hits.get("time-read", 0) == \
+            counts["before"]
+        assert "panic" in reason or system.kernel.unexpected_traps
+
+
+class TestWorldSwitchStateTransfer:
+    def test_os_satp_visible_to_firmware_and_restored(self, booted_system):
+        captured = {}
+
+        def hook(kernel, ctx):
+            ctx.csrw(c.CSR_SATP, (8 << 60) | 0x1234)
+            kernel.sbi_call(ctx, 0x999, 0)  # force a world switch
+            captured["satp_after"] = ctx.csrr(c.CSR_SATP)
+
+        system = run_with(booted_system, hook)
+        assert captured["satp_after"] == (8 << 60) | 0x1234
+
+    def test_firmware_stip_reaches_os(self, booted_system):
+        """A virtual STIP raised *while the firmware runs* must be pending
+        physically for the OS after the switch back (timer multiplexing)."""
+        def hook(kernel, ctx):
+            miralis = booted_system[0].miralis
+            hart = ctx.hart
+            vctx = miralis.vctx[0]
+            miralis.switcher.enter_firmware(hart, vctx)
+            vctx.mip |= c.MIP_STIP  # the firmware's `csrs mip, STIP`
+            miralis.switcher.enter_os(hart, vctx, c.S_MODE)
+            assert hart.state.csr.mip & c.MIP_STIP
+
+        run_with(booted_system, hook)
+
+    def test_sie_roundtrip_through_switch(self, booted_system):
+        def hook(kernel, ctx):
+            ctx.csrw(c.CSR_SIE, c.MIP_SSIP)
+            kernel.sbi_call(ctx, 0x999, 0)
+            assert ctx.csrr(c.CSR_SIE) == c.MIP_SSIP
+
+        run_with(booted_system, hook)
+
+    def test_worlds_alternate(self, booted_system):
+        miralis = booted_system[0].miralis
+
+        def hook(kernel, ctx):
+            assert miralis.world[0] == World.OS
+
+        run_with(booted_system, hook)
+        # After shutdown the machine halted from the firmware SRST handler:
+        assert miralis.world[0] == World.FIRMWARE
+
+    def test_switch_counts_symmetric(self, booted_system):
+        def hook(kernel, ctx):
+            for _ in range(3):
+                kernel.sbi_call(ctx, 0x999, 0)
+
+        system = run_with(booted_system, hook)
+        # Every OS->firmware switch has a firmware->OS counterpart (the
+        # final SRST switch legitimately never returns).
+        assert system.machine.stats.world_switches % 2 in (0, 1)
+        assert system.machine.stats.world_switches >= 6
+
+
+class TestMieSynchronization:
+    def test_masked_virtual_timer_masks_physical(self, booted_system):
+        """vMIE gating prevents interrupt storms (§4.1's check ordering)."""
+        def hook(kernel, ctx):
+            miralis = booted_system[0].miralis
+            vctx = miralis.vctx[0]
+            # The firmware masked its virtual timer; no OS timer armed.
+            vctx.mie &= ~c.MIP_MTIP
+            miralis.offload.timer_armed[0] = False
+            miralis._sync_physical_mie(ctx.hart, vctx)
+            assert not ctx.hart.state.csr.mie & c.MIP_MTIP
+
+        run_with(booted_system, hook)
+
+    def test_offload_timer_keeps_physical_mtie(self, booted_system):
+        def hook(kernel, ctx):
+            now = kernel.read_time(ctx)
+            kernel.sbi_set_timer(ctx, now + 100_000)
+            assert ctx.hart.state.csr.mie & c.MIP_MTIP
+
+        run_with(booted_system, hook)

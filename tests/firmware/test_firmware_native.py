@@ -1,0 +1,274 @@
+"""Vendor firmware running natively in M-mode (the paper's baseline)."""
+
+import pytest
+
+from repro.firmware.opensbi import OpenSbiFirmware, VisionFive2Firmware
+from repro.firmware.rustsbi import RustSbiFirmware
+from repro.firmware.zephyr import ZephyrFirmware
+from repro.hart.machine import Machine
+from repro.hart.program import Region
+from repro.isa import constants as c
+from repro.sbi import constants as sbi
+from repro.spec.platform import PREMIER_P550, VISIONFIVE2
+from repro.system import build_native, memory_regions
+
+
+def boot_with_workload(workload, config=VISIONFIVE2, firmware_class=None, **kw):
+    system = build_native(config, workload=workload,
+                          firmware_class=firmware_class, **kw)
+    reason = system.run()
+    return system, reason
+
+
+class TestBootFlow:
+    def test_boot_reaches_s_mode_and_shuts_down(self):
+        modes = []
+
+        def workload(kernel, ctx):
+            modes.append(ctx.mode)
+
+        system, reason = boot_with_workload(workload)
+        assert modes == [c.S_MODE]
+        assert "reset" in reason
+
+    def test_boot_protocol_registers(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            # a0 was the hartid at kernel entry (captured by kernel.boot).
+            seen["harts"] = list(kernel.booted_harts)
+
+        system, _ = boot_with_workload(workload)
+        assert seen["harts"] == [0]
+
+    def test_console_banner(self):
+        system, _ = boot_with_workload(lambda kernel, ctx: None)
+        assert "OpenSBI" in system.console_output
+
+    def test_pmp_probe_detects_all_entries(self):
+        system, _ = boot_with_workload(lambda kernel, ctx: None)
+        assert system.firmware.detected_pmp_count == VISIONFIVE2.pmp_count
+
+    def test_next_stage_loaded_into_os_memory(self):
+        system, _ = boot_with_workload(lambda kernel, ctx: None)
+        kernel_base = memory_regions(VISIONFIVE2)["kernel"].base
+        assert system.machine.ram.read(kernel_base + 0x40, 8) == 0x6F5A_0001
+
+    def test_delegation_configured(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            seen["medeleg"] = ctx.hart.state.csr.medeleg
+            seen["mideleg"] = ctx.hart.state.csr.mideleg
+
+        _, _ = boot_with_workload(workload)
+        assert seen["mideleg"] == c.SIP_MASK
+        assert seen["medeleg"] & (1 << c.TrapCause.ECALL_FROM_U)
+        # Illegal instructions are NOT delegated: firmware emulates time.
+        assert not seen["medeleg"] & (1 << c.TrapCause.ILLEGAL_INSTRUCTION)
+
+
+class TestSbiInterface:
+    def test_base_extension(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            seen["impl"] = kernel.sbi_impl_id
+            seen["probes"] = dict(kernel.extensions)
+            _err, version = kernel.sbi_call(
+                ctx, sbi.EXT_BASE, sbi.FN_BASE_GET_SPEC_VERSION
+            )
+            seen["spec"] = version
+            _err, vendor = kernel.sbi_call(
+                ctx, sbi.EXT_BASE, sbi.FN_BASE_GET_MVENDORID
+            )
+            seen["vendor"] = vendor
+
+        _, _ = boot_with_workload(workload)
+        assert seen["impl"] == sbi.IMPL_ID_OPENSBI
+        assert all(seen["probes"].values())
+        assert seen["spec"] == sbi.SBI_SPEC_VERSION_2_0
+        assert seen["vendor"] == VISIONFIVE2.mvendorid
+
+    def test_unknown_extension_not_supported(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_call(ctx, 0x0BAD_EED5, 0)
+            seen["error"] = error
+
+        _, _ = boot_with_workload(workload)
+        assert seen["error"] == (-2) & ((1 << 64) - 1)  # ERR_NOT_SUPPORTED
+
+    def test_set_timer_arms_clint_and_fires(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            now = kernel.read_time(ctx)
+            kernel.sbi_set_timer(ctx, now + 50)
+            ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+            before = kernel.timer_ticks
+            # Busy-wait across the deadline: interrupts are delivered
+            # between operations.
+            while kernel.timer_ticks == before:
+                ctx.compute(100)
+                ctx.csrr(c.CSR_SSCRATCH)
+            seen["ticks"] = kernel.timer_ticks
+
+        _, _ = boot_with_workload(workload)
+        assert seen["ticks"] >= 1
+
+    def test_console_putchar(self):
+        def workload(kernel, ctx):
+            kernel.print(ctx, "xyz!")
+
+        system, _ = boot_with_workload(workload)
+        assert "xyz!" in system.console_output
+
+    def test_debug_console_write(self):
+        def workload(kernel, ctx):
+            buffer = kernel.region.base + 0x9000
+            for index, byte in enumerate(b"dbcn"):
+                ctx.store(buffer + index, byte, size=1)
+            kernel.sbi_call(
+                ctx, sbi.EXT_DBCN, sbi.FN_DBCN_CONSOLE_WRITE, 4, buffer
+            )
+
+        system, _ = boot_with_workload(workload)
+        assert "dbcn" in system.console_output
+
+    def test_system_reset_halts(self):
+        def workload(kernel, ctx):
+            pass  # kernel.boot calls shutdown afterwards
+
+        _, reason = boot_with_workload(workload)
+        assert "reset" in reason
+
+
+class TestEmulationPaths:
+    def test_time_read_emulated(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            t0 = kernel.read_time(ctx)
+            ctx.compute(3000)
+            t1 = kernel.read_time(ctx)
+            seen["t0"], seen["t1"] = t0, t1
+
+        system, _ = boot_with_workload(workload)
+        assert seen["t1"] > seen["t0"]
+        details = system.machine.stats.detail_counts()
+        assert details.get("emulate:time-read", 0) >= 2
+
+    def test_misaligned_load_store_emulated(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = kernel.region.base + 0x7000
+            ctx.store(base + 1, 0xAABBCCDD, size=4)  # misaligned store
+            seen["value"] = ctx.load(base + 1, size=4)  # misaligned load
+
+        system, _ = boot_with_workload(workload)
+        assert seen["value"] == 0xAABBCCDD
+        details = system.machine.stats.detail_counts()
+        assert details.get("emulate:misaligned", 0) == 2
+
+    def test_misaligned_handled_in_hardware_on_p550(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = kernel.region.base + 0x7000
+            ctx.store(base + 1, 0xAABBCCDD, size=4)
+            seen["value"] = ctx.load(base + 1, size=4)
+
+        system, _ = boot_with_workload(workload, config=PREMIER_P550)
+        assert seen["value"] == 0xAABBCCDD
+        assert "STORE_ADDRESS_MISALIGNED" not in system.machine.stats.trap_counts
+
+    def test_ipi_to_self_delivers_ssip(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            before = kernel.software_interrupts
+            kernel.sbi_send_ipi(ctx, 0b1, 0)
+            ctx.csrr(c.CSR_SSCRATCH)  # give the interrupt a delivery point
+            seen["delta"] = kernel.software_interrupts - before
+
+        _, _ = boot_with_workload(workload)
+        assert seen["delta"] == 1
+
+    def test_remote_fence(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_remote_fence_i(ctx, 0b1, 0)
+            seen["error"] = error
+
+        _, _ = boot_with_workload(workload)
+        assert seen["error"] == 0
+
+
+class TestVendorFlavours:
+    def test_vf2_banner(self):
+        system, _ = boot_with_workload(
+            lambda kernel, ctx: None, firmware_class=VisionFive2Firmware
+        )
+        assert "StarFive" in system.console_output
+
+    def test_p550_vendor_csrs_written(self):
+        system, _ = boot_with_workload(lambda kernel, ctx: None,
+                                       config=PREMIER_P550)
+        csr_file = system.machine.harts[0].state.csr
+        for vendor_csr in PREMIER_P550.vendor_csrs:
+            assert csr_file.read(vendor_csr) == 1
+
+    def test_sbi_counts_accumulate(self):
+        def workload(kernel, ctx):
+            kernel.read_time(ctx)
+            kernel.sbi_send_ipi(ctx, 1, 0)
+
+        system, _ = boot_with_workload(workload)
+        assert system.firmware.sbi_counts["ipi.0"] == 1
+
+
+class TestRustSbiNative:
+    def test_self_test_passes(self):
+        failures = {}
+
+        class TestedRustSbi(RustSbiFirmware):
+            def boot(self, ctx):
+                hartid = ctx.csrr(c.CSR_MHARTID)
+                ctx.csrw(c.CSR_MTVEC, self.trap_vector)
+                failures["list"] = self.self_test(ctx)
+                self.machine.halt("self-test complete")
+
+        machine = Machine(VISIONFIVE2)
+        firmware = TestedRustSbi(
+            "rustsbi", Region("firmware", 0x8000_0000, 0x10_0000), machine
+        )
+        machine.register(firmware)
+        machine.boot(entry=firmware.entry_point)
+        assert failures["list"] == []
+
+    def test_impl_id(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            seen["impl"] = kernel.sbi_impl_id
+
+        _, _ = boot_with_workload(workload, firmware_class=RustSbiFirmware)
+        assert seen["impl"] == sbi.IMPL_ID_RUSTSBI
+
+
+class TestZephyrNative:
+    def test_suite_passes(self):
+        machine = Machine(VISIONFIVE2)
+        zephyr = ZephyrFirmware(
+            "zephyr", Region("firmware", 0x8000_0000, 0x10_0000), machine,
+            num_ticks=6,
+        )
+        machine.register(zephyr)
+        reason = machine.boot(entry=zephyr.entry_point)
+        assert "complete" in reason
+        assert zephyr.suite_passed(), zephyr.test_log
+        assert zephyr.ticks >= 6

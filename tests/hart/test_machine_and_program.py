@@ -1,0 +1,331 @@
+"""Machine dispatch engine and guest-program framework tests."""
+
+import pytest
+
+from repro.hart.machine import Machine
+from repro.hart.program import (
+    GuestContext,
+    GuestProgram,
+    MachineHalted,
+    ProtocolError,
+    Region,
+)
+from repro.isa import constants as c
+from repro.spec.platform import VISIONFIVE2
+
+
+class HaltingProgram(GuestProgram):
+    """Runs a body callable in M-mode, then halts the machine."""
+
+    def __init__(self, machine, body=None, name="prog",
+                 base=0x8000_0000, size=0x10_0000):
+        super().__init__(name, Region(name, base, size))
+        self.machine = machine
+        self.body = body or (lambda ctx: None)
+        self.trap_log = []
+
+    def boot(self, ctx):
+        self.body(ctx)
+        self.machine.halt("done")
+
+    def handle_trap(self, ctx):
+        cause = ctx.csrr(c.CSR_MCAUSE)
+        self.trap_log.append(cause)
+        if not cause & c.INTERRUPT_BIT:
+            ctx.csrw(c.CSR_MEPC, ctx.csrr(c.CSR_MEPC) + 4)
+        else:
+            # Ack the timer so the interrupt does not immediately re-fire.
+            ctx.store(
+                self.machine.clint.mtimecmp_address(ctx.hart.hartid),
+                (1 << 64) - 1,
+                size=8,
+            )
+        ctx.mret()
+
+
+def run_body(body, config=VISIONFIVE2):
+    machine = Machine(config)
+    program = HaltingProgram(machine, body)
+    machine.register(program)
+    reason = machine.boot(entry=program.entry_point)
+    return machine, program, reason
+
+
+class TestRegions:
+    def test_region_contains(self):
+        region = Region("r", 0x1000, 0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_register_rejects_overlap(self):
+        machine = Machine(VISIONFIVE2)
+        machine.register(HaltingProgram(machine))
+        with pytest.raises(ValueError):
+            machine.register(HaltingProgram(machine, name="other"))
+
+    def test_owner_lookup(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        machine.register(program)
+        assert machine.owner_of(0x8000_0000) is program
+        assert machine.owner_of(0x9000_0000) is None
+
+    def test_region_named(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        machine.register(program)
+        assert machine.region_named("prog") is program.region
+        with pytest.raises(KeyError):
+            machine.region_named("nope")
+
+
+class TestDispatch:
+    def test_boot_runs_program(self):
+        ran = []
+        _, _, reason = run_body(lambda ctx: ran.append(True))
+        assert ran and reason == "done"
+
+    def test_unowned_pc_raises(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        machine.register(program)
+        machine.harts[0].state.pc = 0x9000_0000
+        with pytest.raises(ProtocolError):
+            machine.dispatch_current(machine.harts[0])
+
+    def test_unexpected_reentry_raises(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        machine.register(program)
+        machine.harts[0].state.pc = program.entry_point + 8
+        with pytest.raises(ProtocolError):
+            machine.dispatch_current(machine.harts[0])
+
+    def test_extra_entry_points(self):
+        machine = Machine(VISIONFIVE2)
+        hits = []
+        program = HaltingProgram(machine)
+        program.add_entry(program.entry_point + 0x40, lambda ctx: hits.append(1))
+        machine.register(program)
+        machine.harts[0].state.pc = program.entry_point + 0x40
+        machine.dispatch_current(machine.harts[0])
+        assert hits == [1]
+
+    def test_add_entry_outside_region_rejected(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        with pytest.raises(ValueError):
+            program.add_entry(0x9000_0000, lambda ctx: None)
+
+
+class TestGuestContextOps:
+    def test_csr_roundtrip(self):
+        seen = {}
+
+        def body(ctx):
+            ctx.csrw(c.CSR_MSCRATCH, 0xABCD)
+            seen["value"] = ctx.csrr(c.CSR_MSCRATCH)
+
+        run_body(body)
+        assert seen["value"] == 0xABCD
+
+    def test_csrs_csrc(self):
+        seen = {}
+
+        def body(ctx):
+            ctx.csrw(c.CSR_MSCRATCH, 0b1100)
+            ctx.csrs(c.CSR_MSCRATCH, 0b0011)
+            ctx.csrc(c.CSR_MSCRATCH, 0b1000)
+            seen["value"] = ctx.csrr(c.CSR_MSCRATCH)
+
+        run_body(body)
+        assert seen["value"] == 0b0111
+
+    def test_memory_roundtrip(self):
+        seen = {}
+
+        def body(ctx):
+            ctx.store(0x8008_0000, 0x1122_3344_5566_7788, size=8)
+            seen["full"] = ctx.load(0x8008_0000, size=8)
+            seen["byte"] = ctx.load(0x8008_0007, size=1)
+            seen["signed"] = ctx.load(0x8008_0000, size=1, signed=True)
+
+        run_body(body)
+        assert seen["full"] == 0x1122_3344_5566_7788
+        assert seen["byte"] == 0x11
+        assert seen["signed"] == ((1 << 64) - 1) & ~0x77  # 0x88 sign-extended
+
+    def test_pc_advances_per_op(self):
+        seen = {}
+
+        def body(ctx):
+            start = ctx.hart.state.pc
+            ctx.csrw(c.CSR_MSCRATCH, 1)  # one instruction
+            seen["delta"] = ctx.hart.state.pc - start
+
+        run_body(body)
+        assert seen["delta"] == 4
+
+    def test_pc_wraps_within_region(self):
+        def body(ctx):
+            ctx.hart.state.pc = ctx.program.region.end - 8
+            ctx.csrw(c.CSR_MSCRATCH, 1)
+            assert ctx.program.region.contains(ctx.hart.state.pc)
+
+        run_body(body)
+
+    def test_compute_charges_cycles(self):
+        machine, _, _ = run_body(lambda ctx: ctx.compute(10_000))
+        assert machine.cycles >= 10_000
+
+    def test_instruction_materialized_in_ram(self):
+        seen = {}
+
+        def body(ctx):
+            pc = ctx.hart.state.pc
+            ctx.csrw(c.CSR_MSCRATCH, 1)
+            seen["word"] = ctx.machine.ram.read(pc, 4)
+
+        machine, _, _ = run_body(body)
+        from repro.isa.decoder import decode
+
+        assert decode(seen["word"]).mnemonic == "csrrw"
+
+    def test_ecall_sets_arguments(self):
+        seen = {}
+
+        class EcallProgram(HaltingProgram):
+            def handle_trap(self, ctx):
+                seen["a0"] = ctx.trap_reg(10)
+                seen["a7"] = ctx.trap_reg(17)
+                ctx.set_trap_reg(10, 0x42)
+                ctx.csrw(c.CSR_MEPC, ctx.csrr(c.CSR_MEPC) + 4)
+                ctx.mret()
+
+        machine = Machine(VISIONFIVE2)
+
+        def body(ctx):
+            # Drop to S-mode so the ecall traps back into the program.
+            ctx.csrw(c.CSR_MTVEC, program.trap_vector)
+            mstatus = ctx.csrr(c.CSR_MSTATUS)
+            ctx.csrw(
+                c.CSR_MSTATUS,
+                (mstatus & ~c.MSTATUS_MPP) | (int(c.S_MODE) << 11),
+            )
+            ctx.csrw(c.CSR_MEPC, ctx.hart.state.pc + 4)
+            ctx.mret()
+            result, _ = ctx.ecall(7, a7=0x10)
+            seen["result"] = result
+            machine.halt("done")
+
+        program = EcallProgram(machine, body)
+        machine.register(program)
+        machine.boot(entry=program.entry_point)
+        assert seen == {"a0": 7, "a7": 0x10, "result": 0x42}
+
+
+class TestTrapFrames:
+    def test_handler_scratch_does_not_leak(self):
+        """Handler CSR ops clobber scratch registers; the frame restores them."""
+        machine = Machine(VISIONFIVE2)
+        seen = {}
+
+        class Program(HaltingProgram):
+            def handle_trap(self, ctx):
+                # Uses x29-31 internally:
+                ctx.csrr(c.CSR_MCAUSE)
+                ctx.csrw(c.CSR_MEPC, ctx.csrr(c.CSR_MEPC) + 4)
+                ctx.mret()
+
+        def body(ctx):
+            ctx.csrw(c.CSR_MTVEC, program.trap_vector)
+            ctx.hart.state.set_xreg(31, 0x1234)
+            ctx.hart.state.set_xreg(29, 0x5678)
+            mstatus = ctx.csrr(c.CSR_MSTATUS)
+            # csrr used x29 as result scratch: reload values.
+            ctx.hart.state.set_xreg(31, 0x1234)
+            ctx.hart.state.set_xreg(29, 0x5678)
+            ctx.csrw(
+                c.CSR_MSTATUS,
+                (mstatus & ~c.MSTATUS_MPP) | (int(c.S_MODE) << 11),
+            )
+            # careful: csrw consumed x31; set again afterwards via state
+            ctx.hart.state.set_xreg(31, 0x1234)
+            ctx.csrw(c.CSR_MEPC, ctx.hart.state.pc + 4)
+            ctx.hart.state.set_xreg(31, 0x1234)
+            ctx.mret()
+            ctx.exec_result = ctx.ecall()
+            seen["x31"] = ctx.hart.state.get_xreg(31)
+            seen["x29"] = ctx.hart.state.get_xreg(29)
+            machine.halt("done")
+
+        program = Program(machine, body)
+        machine.register(program)
+        machine.boot(entry=program.entry_point)
+        # a0/a1 are legitimately clobbered (SBI results); x29/x31 must not
+        # leak handler scratch values.
+        assert seen["x29"] == 0x5678
+
+    def test_set_trap_reg_ignores_x0(self):
+        machine = Machine(VISIONFIVE2)
+        program = HaltingProgram(machine)
+        machine.register(program)
+        ctx = GuestContext(machine, machine.harts[0], program)
+        ctx.enter_trap_frame()
+        ctx.set_trap_reg(0, 99)
+        assert ctx.trap_reg(0) == 0
+
+
+class TestHalt:
+    def test_halt_unwinds_program(self):
+        machine = Machine(VISIONFIVE2)
+
+        def body(ctx):
+            machine.halt("early")
+            ctx.csrw(c.CSR_MSCRATCH, 1)  # must raise
+            raise AssertionError("should not get here")
+
+        program = HaltingProgram(machine, body)
+        machine.register(program)
+        assert machine.boot(entry=program.entry_point) == "early"
+
+    def test_wfi_without_wakeup_halts(self):
+        def body(ctx):
+            ctx.wfi()
+
+        machine, _, reason = run_body(body)
+        assert "no wakeup" in reason
+
+
+class TestWfiAndTimer:
+    def test_wfi_wakes_on_timer(self):
+        seen = {}
+
+        def body(ctx):
+            machine = ctx.machine
+            now = ctx.load(machine.clint.mtime_address, size=8)
+            ctx.store(machine.clint.mtimecmp_address(0), now + 100, size=8)
+            ctx.csrw(c.CSR_MIE, c.MIP_MTIP)
+            ctx.csrw(c.CSR_MTVEC, ctx.program.trap_vector)
+            ctx.csrs(c.CSR_MSTATUS, c.MSTATUS_MIE)
+            ctx.wfi()
+            # Executing the next op delivers the interrupt to handle_trap.
+            ctx.csrr(c.CSR_MSCRATCH)
+            seen["time"] = ctx.load(machine.clint.mtime_address, size=8)
+            seen["then"] = now
+
+        machine, program, _ = run_body(body)
+        assert seen["time"] >= seen["then"] + 100
+        assert program.trap_log  # timer interrupt was handled
+
+
+class TestStats:
+    def test_trap_events_recorded(self):
+        def body(ctx):
+            ctx.csrw(c.CSR_MTVEC, ctx.program.trap_vector)
+            ctx.exec(__import__("repro.isa.instructions", fromlist=["Instruction"]).Instruction("ecall"))
+
+        machine, _, _ = run_body(body)
+        assert machine.stats.total_traps == 1
+        assert "ECALL_FROM_M" in machine.stats.trap_counts

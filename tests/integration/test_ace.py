@@ -1,0 +1,223 @@
+"""ACE policy (§5.4): confidential VMs with the firmware out of the TCB."""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.policy.ace import (
+    AcePolicy,
+    ConfidentialVm,
+    ERR_INVALID_TVM,
+    ERR_NOT_RUNNABLE,
+    EXIT_DONE,
+    EXIT_GUEST_REQUEST,
+    EXIT_INTERRUPTED,
+    EXT_COVH,
+    FN_DESTROY_TVM,
+    FN_PROMOTE_TO_TVM,
+    FN_TSM_GET_INFO,
+    FN_TVM_VCPU_RUN,
+    TvmState,
+)
+from repro.spec.platform import QEMU_VIRT, VISIONFIVE2
+from repro.system import build_virtualized, memory_regions
+
+U64 = (1 << 64) - 1
+
+
+def io_vm(requests=3, compute=3_000):
+    """A CVM that boots, performs virtio-style I/O requests, and halts."""
+
+    def workload(vm, ctx):
+        while vm.progress < requests:
+            ctx.compute(compute)
+            vm.progress += 1
+            vm.guest_request(ctx, request=vm.progress)
+
+    return workload
+
+
+def run_tvm_to_completion(kernel, ctx, tvm_id, on_request=None):
+    exits = {"io": 0, "irq": 0}
+    while True:
+        error, reason = ctx.ecall(tvm_id, a6=FN_TVM_VCPU_RUN, a7=EXT_COVH)
+        assert error == 0, error
+        if reason == EXIT_DONE:
+            return exits
+        if reason == EXIT_GUEST_REQUEST:
+            exits["io"] += 1
+            if on_request is not None:
+                on_request(ctx.get_reg(12), ctx.get_reg(13))  # a2/a3
+        elif reason == EXIT_INTERRUPTED:
+            exits["irq"] += 1
+            kernel.arm_timer_tick(ctx)
+
+
+def build_ace_system(workload, vm_workload=None, config=QEMU_VIRT):
+    policy = AcePolicy()
+    system = build_virtualized(config, workload=workload, policy=policy)
+    regions = memory_regions(config)
+    vm = ConfidentialVm(
+        "linux-cvm", regions["enclave"], system.machine,
+        vm_workload or io_vm(),
+    )
+    policy.register_vm(vm)
+    return system, policy, vm
+
+
+class TestRequiresHExtension:
+    def test_rejected_without_h(self):
+        """§5.4: ACE leverages the RISC-V H extension."""
+        system, policy, _ = build_ace_system(lambda kernel, ctx: None,
+                                             config=VISIONFIVE2)
+        with pytest.raises(ValueError, match="hypervisor extension"):
+            system.run()
+
+
+class TestLifecycle:
+    def test_promote_run_destroy(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            error, count = kernel.sbi_call(ctx, EXT_COVH, FN_TSM_GET_INFO)
+            seen["info"] = (error, count)
+            error, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            seen["promote"] = error
+            seen["exits"] = run_tvm_to_completion(kernel, ctx, tvm_id)
+            error, _ = kernel.sbi_call(ctx, EXT_COVH, FN_DESTROY_TVM, tvm_id)
+            seen["destroy"] = error
+
+        system, policy, vm = build_ace_system(workload)
+        system.run()
+        assert seen["info"] == (0, 0)
+        assert seen["promote"] == 0
+        assert seen["exits"]["io"] == 3
+        assert seen["destroy"] == 0
+        assert vm.guest_requests == 3
+
+    def test_guest_request_payload_reaches_host(self):
+        payloads = []
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            run_tvm_to_completion(
+                kernel, ctx, tvm_id,
+                on_request=lambda a2, a3: payloads.append(a2),
+            )
+
+        system, _, _ = build_ace_system(workload)
+        system.run()
+        assert payloads == [1, 2, 3]
+
+    def test_invalid_ids(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_call(ctx, EXT_COVH, FN_TVM_VCPU_RUN, 42)
+            seen["bad_run"] = error
+            error, _ = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, 0x1000)
+            seen["bad_promote"] = error
+
+        system, _, _ = build_ace_system(workload)
+        system.run()
+        assert seen["bad_run"] == ERR_NOT_RUNNABLE & U64
+        assert seen["bad_promote"] == ERR_INVALID_TVM & U64
+
+    def test_timer_interrupts_vm(self):
+        seen = {}
+
+        def vm_workload(vm, ctx):
+            while vm.progress < 30:
+                ctx.compute(120_000)
+                vm.progress += 1
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            kernel.arm_timer_tick(ctx)
+            seen["exits"] = run_tvm_to_completion(kernel, ctx, tvm_id)
+
+        system, _, vm = build_ace_system(workload, vm_workload=vm_workload)
+        system.run()
+        assert seen["exits"]["irq"] >= 1
+        assert vm.progress == 30
+
+
+class TestConfidentiality:
+    def test_hypervisor_cannot_read_cvm_memory(self):
+        seen = {}
+
+        def vm_workload(vm, ctx):
+            ctx.store(vm.region.base + 0x2000, 0x5EC12E7, size=8)
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            run_tvm_to_completion(kernel, ctx, tvm_id)
+            from repro.isa.constants import AccessType, S_MODE
+            from repro.spec.pmp import pmp_check
+
+            csr_file = ctx.hart.state.csr
+            seen["host_reads"] = pmp_check(
+                csr_file.pmpcfg, csr_file.pmpaddr, base + 0x2000, 8,
+                AccessType.READ, S_MODE,
+                pmp_count=QEMU_VIRT.pmp_count,
+            ).allowed
+
+        system, _, _ = build_ace_system(workload, vm_workload=vm_workload)
+        system.run()
+        assert seen["host_reads"] is False
+
+    def test_firmware_excluded_from_tcb(self):
+        """§8.4: 'we further strengthen confidentiality by excluding the
+        firmware from the TCB' — CVM memory blocked in the firmware world."""
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            miralis = system.miralis
+            from repro.core.vcpu import World
+            from repro.isa.constants import AccessType, U_MODE
+            from repro.spec.pmp import pmp_check
+
+            cfg, addr = miralis.vpmp.compute(
+                miralis.vctx[0], World.FIRMWARE, miralis.policy, 0
+            )
+            seen["fw_reads"] = pmp_check(
+                cfg, addr, base + 0x2000, 8, AccessType.READ, U_MODE,
+                pmp_count=QEMU_VIRT.pmp_count,
+            ).allowed
+
+        system, _, _ = build_ace_system(workload)
+        system.run()
+        assert seen["fw_reads"] is False
+
+    def test_h_csrs_restored_after_vm_run(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            csr_file = ctx.hart.state.csr
+            csr_file.write(c.CSR_HSTATUS, 0x40)  # hypervisor state
+            before = csr_file.read(c.CSR_HSTATUS)
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            run_tvm_to_completion(kernel, ctx, tvm_id)
+            seen["before"] = before
+            seen["after"] = csr_file.read(c.CSR_HSTATUS)
+
+        system, _, _ = build_ace_system(workload)
+        system.run()
+        assert seen["after"] == seen["before"]
+
+    def test_tvm_state_machine(self):
+        def workload(kernel, ctx):
+            base = memory_regions(QEMU_VIRT)["enclave"].base
+            _, tvm_id = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base)
+            run_tvm_to_completion(kernel, ctx, tvm_id)
+
+        system, policy, _ = build_ace_system(workload)
+        system.run()
+        assert policy.tvms[1].state == TvmState.DONE
+        assert policy.tvms[1].exits >= 4  # 3 I/O + final

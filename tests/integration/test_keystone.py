@@ -1,0 +1,287 @@
+"""Keystone policy (§5.3): enclave lifecycle and isolation."""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.policy.keystone import (
+    ENCLAVE_INTERRUPTED,
+    ERR_INVALID_ID,
+    ERR_NOT_RUNNABLE,
+    EXT_KEYSTONE,
+    EnclaveApp,
+    EnclaveState,
+    FN_ATTEST_ENCLAVE,
+    FN_CREATE_ENCLAVE,
+    FN_DESTROY_ENCLAVE,
+    FN_RANDOM,
+    FN_RESUME_ENCLAVE,
+    FN_RUN_ENCLAVE,
+    KeystonePolicy,
+)
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized, memory_regions
+
+ENCLAVE_SECRET = 0x5EED_5EED_5EED_5EED
+
+
+def simple_enclave(progress_goal=3, compute=2_000):
+    def workload(app, ctx):
+        while app.progress < progress_goal:
+            ctx.compute(compute)
+            app.progress += 1
+        return 42
+
+    return workload
+
+
+def build_keystone_system(workload, enclave_workload=None, **kwargs):
+    policy = KeystonePolicy()
+    system = build_virtualized(
+        VISIONFIVE2, workload=workload, policy=policy, **kwargs
+    )
+    regions = memory_regions(VISIONFIVE2)
+    app = EnclaveApp(
+        "eapp", regions["enclave"], system.machine,
+        enclave_workload or simple_enclave(),
+    )
+    policy.register_app(app)
+    return system, policy, app
+
+
+class TestLifecycle:
+    def test_create_run_exit_destroy(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            error, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            seen["create"] = error
+            error, value = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            seen["run"] = (error, value)
+            error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_DESTROY_ENCLAVE, eid)
+            seen["destroy"] = error
+
+        system, policy, app = build_keystone_system(workload)
+        system.run()
+        assert seen["create"] == 0
+        assert seen["run"] == (0, 42)
+        assert seen["destroy"] == 0
+        assert app.progress == 3
+
+    def test_invalid_enclave_ids(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, 99)
+            seen["bad_run"] = error
+            error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, 0x1234)
+            seen["bad_create"] = error
+
+        system, _, _ = build_keystone_system(workload)
+        system.run()
+        assert seen["bad_run"] == ERR_INVALID_ID
+        assert seen["bad_create"] == ERR_INVALID_ID
+
+    def test_cannot_run_twice(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            seen["second"] = error
+
+        system, _, _ = build_keystone_system(workload)
+        system.run()
+        assert seen["second"] == ERR_NOT_RUNNABLE
+
+    def test_enclave_services(self):
+        seen = {}
+
+        def enclave_workload(app, ctx):
+            _, seen["random"] = 0, ctx.ecall(a6=FN_RANDOM, a7=EXT_KEYSTONE)[0]
+            seen["attest"] = ctx.ecall(a6=FN_ATTEST_ENCLAVE, a7=EXT_KEYSTONE)
+            return 7
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            seen["run"] = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+
+        system, _, _ = build_keystone_system(
+            workload, enclave_workload=enclave_workload
+        )
+        system.run()
+        assert seen["run"] == (0, 7)
+        assert seen["attest"][0] == 0  # attestation success
+
+
+class TestInterruption:
+    def test_timer_interrupts_enclave_and_resume_completes(self):
+        seen = {"resumes": 0}
+
+        def enclave_workload(app, ctx):
+            while app.progress < 40:
+                ctx.compute(100_000)  # long-running: spans timer ticks
+                app.progress += 1
+            return 11
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.arm_timer_tick(ctx)
+            error, value = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            while error == ENCLAVE_INTERRUPTED:
+                seen["resumes"] += 1
+                kernel.arm_timer_tick(ctx)
+                error, value = kernel.sbi_call(
+                    ctx, EXT_KEYSTONE, FN_RESUME_ENCLAVE, eid
+                )
+            seen["final"] = (error, value)
+
+        system, policy, app = build_keystone_system(
+            workload, enclave_workload=enclave_workload
+        )
+        system.run()
+        assert seen["final"] == (0, 11)
+        assert seen["resumes"] >= 1  # the tick really interrupted it
+        assert app.progress == 40
+
+    def test_host_interrupts_serviced_during_enclave(self):
+        """The OS's timer tick is not lost while the enclave runs."""
+        seen = {}
+
+        def enclave_workload(app, ctx):
+            while app.progress < 20:
+                ctx.compute(100_000)
+                app.progress += 1
+            return 0
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.arm_timer_tick(ctx)
+            ticks_before = kernel.timer_ticks
+            error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            while error == ENCLAVE_INTERRUPTED:
+                ctx.csrr(c.CSR_SSCRATCH)  # delivery point for STIP
+                kernel.arm_timer_tick(ctx)
+                error, _ = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RESUME_ENCLAVE, eid)
+            seen["ticks"] = kernel.timer_ticks - ticks_before
+
+        system, _, _ = build_keystone_system(
+            workload, enclave_workload=enclave_workload
+        )
+        system.run()
+        assert seen["ticks"] >= 1
+
+
+class TestIsolation:
+    def test_os_cannot_read_enclave_memory(self):
+        seen = {}
+
+        def enclave_workload(app, ctx):
+            ctx.store(app.region.base + 0x1000, ENCLAVE_SECRET, size=8)
+            return 0
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            # The enclave's memory must be unreadable from S-mode.
+            from repro.spec.pmp import pmp_check
+            from repro.isa.constants import AccessType, S_MODE
+
+            csr_file = ctx.hart.state.csr
+            result = pmp_check(
+                csr_file.pmpcfg, csr_file.pmpaddr, base + 0x1000, 8,
+                AccessType.READ, S_MODE, pmp_count=8,
+            )
+            seen["os_can_read"] = result.allowed
+
+        system, _, _ = build_keystone_system(
+            workload, enclave_workload=enclave_workload
+        )
+        system.run()
+        assert seen["os_can_read"] is False
+
+    def test_firmware_cannot_read_enclave_memory(self):
+        """The paper's strengthening: the enclave is protected from the
+        *firmware* too (vendor firmware is no longer in the TCB)."""
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+            # Compute the firmware-world PMP view and check it.
+            miralis = system.miralis
+            from repro.core.vcpu import World
+            from repro.isa.constants import AccessType, U_MODE
+            from repro.spec.pmp import pmp_check
+
+            cfg, addr = miralis.vpmp.compute(
+                miralis.vctx[0], World.FIRMWARE, miralis.policy, 0
+            )
+            result = pmp_check(cfg, addr, base + 0x1000, 8,
+                               AccessType.READ, U_MODE, pmp_count=8)
+            seen["fw_can_read"] = result.allowed
+
+        system, _, _ = build_keystone_system(workload)
+        system.run()
+        assert seen["fw_can_read"] is False
+
+    def test_enclave_memory_blocked_while_enclave_not_running(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            # Created but never run: still protected.
+            outcome = ctx.exec(
+                __import__("repro.isa.instructions", fromlist=["Instruction"])
+                .Instruction("ld", rd=5, rs1=31)
+            ) if False else None
+            from repro.spec.pmp import pmp_check
+            from repro.isa.constants import AccessType, S_MODE
+
+            csr_file = ctx.hart.state.csr
+            seen["allowed"] = pmp_check(
+                csr_file.pmpcfg, csr_file.pmpaddr, base, 8,
+                AccessType.WRITE, S_MODE, pmp_count=8,
+            ).allowed
+
+        system, _, _ = build_keystone_system(workload)
+        system.run()
+        assert seen["allowed"] is False
+
+    def test_enclave_state_machine(self):
+        def workload(kernel, ctx):
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+
+        system, policy, _ = build_keystone_system(workload)
+        system.run()
+        assert policy.enclaves[1].state == EnclaveState.STOPPED
+        assert policy.enclaves[1].measurement
+
+    def test_enclave_registers_scrubbed_on_entry(self):
+        seen = {}
+
+        def enclave_workload(app, ctx):
+            seen["regs"] = [ctx.get_reg(i) for i in range(1, 10)]
+            return 0
+
+        def workload(kernel, ctx):
+            ctx.hart.state.set_xreg(9, 0xDEAD_0001)  # s1 kernel value
+            base = memory_regions(VISIONFIVE2)["enclave"].base
+            _, eid = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base)
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_RUN_ENCLAVE, eid)
+
+        system, _, _ = build_keystone_system(
+            workload, enclave_workload=enclave_workload
+        )
+        system.run()
+        assert all(value == 0 for value in seen["regs"])

@@ -1,0 +1,169 @@
+"""Multi-hart behaviour: HSM hart_start, IPIs, and remote fences."""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.sbi import constants as sbi
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_native, build_virtualized
+
+
+@pytest.fixture(params=["native", "virtualized"])
+def builder(request):
+    if request.param == "native":
+        return build_native
+    return build_virtualized
+
+
+class TestHartStart:
+    def test_secondaries_start_and_park(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            seen["booted"] = list(kernel.booted_harts)
+            seen["parked"] = [
+                hart.parked_pc is not None
+                for hart in kernel.machine.harts[1:]
+            ]
+
+        system = builder(VISIONFIVE2, workload=workload,
+                         start_secondaries=True)
+        system.run()
+        assert seen["booted"] == [0, 1, 2, 3]
+        assert all(seen["parked"])
+
+    def test_double_start_rejected(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_call(
+                ctx, sbi.EXT_HSM, sbi.FN_HSM_HART_START,
+                1, kernel.secondary_entry, 1,
+            )
+            seen["again"] = error
+
+        system = builder(VISIONFIVE2, workload=workload,
+                         start_secondaries=True)
+        system.run()
+        assert seen["again"] == (-6) & ((1 << 64) - 1)  # ALREADY_AVAILABLE
+
+    def test_bad_hartid_rejected(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_call(
+                ctx, sbi.EXT_HSM, sbi.FN_HSM_HART_START, 99, 0, 0
+            )
+            seen["error"] = error
+
+        system = builder(VISIONFIVE2, workload=workload)
+        system.run()
+        assert seen["error"] == (-3) & ((1 << 64) - 1)  # INVALID_PARAM
+
+    def test_hart_status(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            _, started = kernel.sbi_call(
+                ctx, sbi.EXT_HSM, sbi.FN_HSM_HART_GET_STATUS, 0
+            )
+            _, stopped = kernel.sbi_call(
+                ctx, sbi.EXT_HSM, sbi.FN_HSM_HART_GET_STATUS, 3
+            )
+            seen["started"], seen["stopped"] = started, stopped
+
+        system = builder(VISIONFIVE2, workload=workload)
+        system.run()
+        assert seen["started"] == sbi.HSM_STARTED
+        assert seen["stopped"] == sbi.HSM_STOPPED
+
+
+class TestIpis:
+    def test_remote_ipi_serviced(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            before = kernel.software_interrupts
+            kernel.sbi_send_ipi(ctx, 0b10, 0)  # hart 1
+            seen["remote_ssi"] = kernel.software_interrupts - before
+
+        system = builder(VISIONFIVE2, workload=workload,
+                         start_secondaries=True)
+        system.run()
+        # The remote hart's kernel handler counted an SSI (the kernel
+        # program is shared, so the counter is global).
+        assert seen["remote_ssi"] >= 1
+
+    def test_broadcast_ipi(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            before = kernel.software_interrupts
+            kernel.sbi_send_ipi(ctx, (1 << 64) - 1, (1 << 64) - 1)
+            ctx.csrr(c.CSR_SSCRATCH)  # self-IPI delivery point
+            seen["count"] = kernel.software_interrupts - before
+
+        system = builder(VISIONFIVE2, workload=workload,
+                         start_secondaries=True)
+        system.run()
+        assert seen["count"] >= 4  # all harts
+
+    def test_invalid_target_rejected(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_send_ipi(ctx, 0b1, 64)
+            seen["error"] = error
+
+        system = builder(VISIONFIVE2, workload=workload)
+        system.run()
+        assert seen["error"] == (-3) & ((1 << 64) - 1)
+
+    def test_remote_fence_reaches_remote_hart(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            error, _ = kernel.sbi_remote_fence_i(ctx, 0b10, 0)
+            seen["error"] = error
+
+        system = builder(VISIONFIVE2, workload=workload,
+                         start_secondaries=True)
+        system.run()
+        assert seen["error"] == 0
+
+
+class TestVirtualizedSecondaries:
+    def test_secondary_harts_in_os_world(self):
+        """Started harts run the OS directly; their monitor state exists."""
+        from repro.core.vcpu import World
+
+        seen = {}
+
+        def workload(kernel, ctx):
+            miralis = system.miralis
+            seen["worlds"] = [miralis.world[h] for h in range(4)]
+
+        system = build_virtualized(VISIONFIVE2, workload=workload,
+                                   start_secondaries=True)
+        system.run()
+        assert seen["worlds"][1] == World.OS
+
+    def test_secondary_pmp_installed(self):
+        """A started hart's physical PMP protects the monitor."""
+        from repro.isa.constants import AccessType, S_MODE
+        from repro.spec.pmp import pmp_check
+
+        seen = {}
+
+        def workload(kernel, ctx):
+            hart1 = kernel.machine.harts[1]
+            seen["monitor_blocked"] = not pmp_check(
+                hart1.state.csr.pmpcfg, hart1.state.csr.pmpaddr,
+                system.miralis.region.base, 8, AccessType.READ, S_MODE,
+                pmp_count=8,
+            ).allowed
+
+        system = build_virtualized(VISIONFIVE2, workload=workload,
+                                   start_secondaries=True)
+        system.run()
+        assert seen["monitor_blocked"]

@@ -1,0 +1,242 @@
+"""Security evaluation of the firmware sandbox policy (§5.2, §7).
+
+Every attack from the adversarial firmware must *succeed natively*
+(demonstrating the real-world exposure the paper motivates with) and be
+*contained* by Miralis with the sandbox policy (the paper's guarantee:
+OS integrity and confidentiality against a fully-controlled firmware).
+"""
+
+import pytest
+
+from repro.firmware.malicious import ATTACKS, MaliciousFirmware, TRIGGER_EID
+from repro.isa import constants as c
+from repro.policy.sandbox import FirmwareSandboxPolicy
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_native, build_virtualized, memory_regions
+
+OS_SECRET = 0xC0FFEE_15_5EC12E7
+
+
+def build_attack_system(attack: str, virtualized: bool, offload: bool = True):
+    regions = memory_regions(VISIONFIVE2)
+    secret_address = regions["kernel"].base + 0x2000
+    monitor_address = regions["miralis"].base + 0x100
+
+    def workload(kernel, ctx):
+        # Plant the OS secret and recognizable kernel state, then issue the
+        # covert knock that wakes the rootkit.
+        ctx.store(secret_address, OS_SECRET, size=8)
+        ctx.csrw(c.CSR_SSCRATCH, 0x5EC12E7_0BA5E)
+        ctx.hart.state.set_xreg(9, 0xFFFF_FFFF_8123_4567)  # s1: kernel ptr
+        kernel.sbi_call(ctx, TRIGGER_EID, 0)
+        ctx.store(secret_address + 8, 0x1, size=8)
+
+    firmware_kwargs = {
+        "attack": attack,
+        "os_secret_address": secret_address,
+        "monitor_address": monitor_address,
+    }
+    if virtualized:
+        system = build_virtualized(
+            VISIONFIVE2,
+            firmware_class=MaliciousFirmware,
+            workload=workload,
+            policy=FirmwareSandboxPolicy(
+                extra_allowed_regions=[(0x1000_0000, 0x100)],  # UART
+            ),
+            offload=offload,
+            firmware_kwargs=firmware_kwargs,
+        )
+    else:
+        system = build_native(
+            VISIONFIVE2,
+            firmware_class=MaliciousFirmware,
+            workload=workload,
+            firmware_kwargs=firmware_kwargs,
+        )
+    return system, secret_address
+
+
+# Attacks expected to succeed natively.  Excluded: monitor-targeting
+# attacks (no monitor exists natively), mret_to_mmode (native firmware is
+# already M-mode), and pmp_w_without_r (real hardware rejects the reserved
+# combination too — the interesting property is that the *virtual* PMP
+# rejects it identically, covered below and by the verification suite).
+_NATIVE_ATTACKS = tuple(
+    attack for attack in ATTACKS
+    if attack not in ("read_monitor_memory", "write_monitor_memory",
+                      "mret_to_mmode", "dma_device_access",
+                      "pmp_w_without_r")
+)
+
+# Attacks whose containment is observable from the firmware-side outcome.
+# corrupt_smode_csrs is asserted from the OS side instead: the firmware
+# sees its (virtual) write stick, but the OS's real stvec is untouched.
+_CONTAINED_ATTACKS = tuple(
+    attack for attack in ATTACKS if attack != "corrupt_smode_csrs"
+)
+
+_SANDBOXED_OFFLOAD = False  # route every trap through the firmware
+
+
+class TestAttacksSucceedNatively:
+    """The vulnerability the paper closes: native firmware owns the OS."""
+
+    @pytest.mark.parametrize("attack", _NATIVE_ATTACKS)
+    def test_attack_succeeds_native(self, attack):
+        system, _ = build_attack_system(attack, virtualized=False)
+        system.run()
+        outcome = system.firmware.outcome
+        assert outcome.attempted
+        assert outcome.succeeded, f"{attack} should succeed natively"
+
+    def test_native_read_leaks_secret(self):
+        system, _ = build_attack_system("read_os_memory", virtualized=False)
+        system.run()
+        assert system.firmware.outcome.leaked_value == OS_SECRET
+
+    def test_native_write_corrupts_os(self):
+        system, secret_address = build_attack_system(
+            "write_os_memory", virtualized=False
+        )
+        system.run()
+        assert system.machine.ram.read(secret_address, 8) != OS_SECRET
+
+
+class TestSandboxContainsAttacks:
+    @pytest.mark.parametrize("attack", _CONTAINED_ATTACKS)
+    def test_attack_contained(self, attack):
+        system, secret_address = build_attack_system(
+            attack, virtualized=True, offload=_SANDBOXED_OFFLOAD
+        )
+        system.run()
+        outcome = system.firmware.outcome
+        assert outcome.attempted, f"{attack} never triggered"
+        assert not outcome.succeeded, f"{attack} escaped the sandbox"
+
+    @pytest.mark.parametrize("attack", [
+        "read_os_memory", "write_os_memory", "remap_pmp_window",
+        "pmp_out_of_range", "read_monitor_memory", "write_monitor_memory",
+        "dma_device_access",
+    ])
+    def test_memory_attacks_halt_machine(self, attack):
+        """§5.2: Miralis stops the machine on an illegal firmware action."""
+        system, _ = build_attack_system(
+            attack, virtualized=True, offload=_SANDBOXED_OFFLOAD
+        )
+        reason = system.run()
+        assert "miralis" in reason and (
+            "denied" in reason or "monitor memory" in reason
+        ), reason
+        assert system.miralis.violations
+
+    def test_os_memory_intact_after_write_attempt(self):
+        system, secret_address = build_attack_system(
+            "write_os_memory", virtualized=True, offload=_SANDBOXED_OFFLOAD
+        )
+        system.run()
+        assert system.machine.ram.read(secret_address, 8) == OS_SECRET
+
+    def test_register_exfiltration_blocked_by_scrubbing(self):
+        system, _ = build_attack_system(
+            "register_exfiltration", virtualized=True, offload=_SANDBOXED_OFFLOAD
+        )
+        system.run()
+        outcome = system.firmware.outcome
+        # set_timer's allow-list exposes only a0: s1 reads as zero.
+        assert outcome.leaked_value == 0
+
+    def test_smode_csr_confidentiality(self):
+        """sscratch is scrubbed: the OS's S-CSR never reaches the firmware."""
+        system, _ = build_attack_system(
+            "steal_smode_csrs", virtualized=True, offload=_SANDBOXED_OFFLOAD
+        )
+        system.run()
+        outcome = system.firmware.outcome
+        assert outcome.attempted
+        assert outcome.leaked_value != 0x5EC12E7_0BA5E
+        assert not outcome.succeeded
+
+    def test_stvec_corruption_does_not_reach_os(self):
+        """The firmware may scribble on its *virtual* stvec; the OS's real
+        trap vector is restored from the saved OS context on the switch."""
+        seen = {}
+
+        def workload(kernel, ctx):
+            ctx.csrw(c.CSR_STVEC, kernel.trap_vector)
+            kernel.sbi_call(ctx, TRIGGER_EID, 0)
+            seen["stvec"] = ctx.csrr(c.CSR_STVEC)
+
+        system = build_virtualized(
+            VISIONFIVE2,
+            firmware_class=MaliciousFirmware,
+            workload=workload,
+            policy=FirmwareSandboxPolicy(
+                extra_allowed_regions=[(0x1000_0000, 0x100)]
+            ),
+            offload=False,
+            firmware_kwargs={"attack": "corrupt_smode_csrs"},
+        )
+        system.run()
+        assert system.firmware.outcome.attempted
+        kernel_vector = memory_regions(VISIONFIVE2)["kernel"].base + 0x100
+        assert seen["stvec"] == kernel_vector
+
+
+class TestSandboxLifecycle:
+    def test_locks_after_first_s_mode_entry(self):
+        policy = FirmwareSandboxPolicy(
+            extra_allowed_regions=[(0x1000_0000, 0x100)]
+        )
+        system = build_virtualized(VISIONFIVE2, policy=policy)
+        assert not policy.locked[0]
+        system.run()
+        assert policy.locked[0]
+        assert policy.os_image_hash
+
+    def test_boot_time_os_memory_access_allowed(self):
+        """Firmware loads the next stage into OS memory before lock-down."""
+        policy = FirmwareSandboxPolicy(
+            extra_allowed_regions=[(0x1000_0000, 0x100)]
+        )
+        system = build_virtualized(VISIONFIVE2, policy=policy)
+        reason = system.run()
+        assert "reset" in reason  # clean shutdown, no violation
+        kernel_base = memory_regions(VISIONFIVE2)["kernel"].base
+        assert system.machine.ram.read(kernel_base + 0x40, 8) == 0x6F5A_0001
+
+    def test_image_hash_stable(self):
+        hashes = []
+        for _ in range(2):
+            policy = FirmwareSandboxPolicy(
+                extra_allowed_regions=[(0x1000_0000, 0x100)]
+            )
+            system = build_virtualized(VISIONFIVE2, policy=policy)
+            system.run()
+            hashes.append(policy.os_image_hash)
+        assert hashes[0] == hashes[1]
+
+    def test_benign_firmware_unaffected(self):
+        """§8.2: sandboxing had 'surprisingly little consequences'."""
+        results = {}
+
+        def workload(kernel, ctx):
+            results["time"] = kernel.read_time(ctx)
+            kernel.sbi_send_ipi(ctx, 1, 0)
+            base = kernel.region.base + 0x6000
+            ctx.store(base + 1, 0xAB, size=2)
+            results["misaligned"] = ctx.load(base + 1, size=2)
+
+        policy = FirmwareSandboxPolicy(
+            extra_allowed_regions=[(0x1000_0000, 0x100)]
+        )
+        system = build_virtualized(
+            VISIONFIVE2, workload=workload, policy=policy, offload=False
+        )
+        reason = system.run()
+        assert "reset" in reason
+        assert results["misaligned"] == 0xAB
+        # Misaligned emulation happened inside the policy (paper: "we thus
+        # simply implemented the misaligned emulation directly in the
+        # policy").
+        assert policy.emulated_misaligned >= 2

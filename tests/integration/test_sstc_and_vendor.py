@@ -1,0 +1,123 @@
+"""Sstc / hardware-time platforms (§8.3.3) and vendor CSRs (§8.2)."""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.spec.platform import PREMIER_P550, RVA23_MACHINE, VISIONFIVE2
+from repro.system import build_native, build_virtualized
+
+SSTC_VF2 = VISIONFIVE2.with_overrides(has_hw_time_csr=True, has_sstc=True)
+
+
+class TestHardwareTimeCsr:
+    @pytest.mark.parametrize("builder", [build_native, build_virtualized],
+                             ids=["native", "miralis"])
+    def test_time_reads_do_not_trap(self, builder):
+        def workload(kernel, ctx):
+            machine = kernel.machine
+            machine.stats.reset()
+            for _ in range(10):
+                kernel.read_time(ctx)
+            machine.time_read_traps = machine.stats.total_traps
+
+        system = builder(SSTC_VF2, workload=workload)
+        system.run()
+        assert system.machine.time_read_traps == 0
+
+    def test_time_still_monotone(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            t0 = kernel.read_time(ctx)
+            ctx.compute(10_000)
+            seen["delta"] = kernel.read_time(ctx) - t0
+
+        system = build_virtualized(SSTC_VF2, workload=workload)
+        system.run()
+        assert seen["delta"] > 0
+
+
+class TestSstcTimer:
+    @pytest.mark.parametrize("builder", [build_native, build_virtualized],
+                             ids=["native", "miralis"])
+    def test_stimecmp_fires_without_firmware(self, builder):
+        seen = {}
+
+        def workload(kernel, ctx):
+            machine = kernel.machine
+            now = kernel.read_time(ctx)
+            machine.stats.reset()
+            kernel.sbi_set_timer(ctx, now + 60)  # direct stimecmp write
+            ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+            before = kernel.timer_ticks
+            while kernel.timer_ticks == before:
+                ctx.compute(300)
+            seen["m_traps"] = sum(
+                count for cause, count in machine.stats.trap_counts.items()
+                if not cause.startswith("irq:SUPERVISOR")
+            )
+
+        system = builder(SSTC_VF2, workload=workload)
+        system.run()
+        # The whole timer path stayed out of M-mode: no ecall, no MTI.
+        assert seen["m_traps"] == 0
+
+    def test_stimecmp_write_requires_stce(self):
+        """Without menvcfg.STCE the supervisor cannot touch stimecmp."""
+        from repro.spec.state import MachineState
+        from repro.spec.step import execute_instruction
+        from repro.isa.instructions import Instruction
+
+        state = MachineState(SSTC_VF2)
+        state.csr.mtvec = 0x8020_0000
+        state.mode = c.S_MODE
+        outcome = execute_instruction(
+            state, Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_STIMECMP)
+        )
+        assert outcome.trap is not None
+
+    def test_rva23_machine_has_everything(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            machine = kernel.machine
+            machine.stats.reset()
+            kernel.read_time(ctx)
+            now = kernel.read_time(ctx)
+            kernel.sbi_set_timer(ctx, now + 50)
+            base = kernel.region.base + 0x6000
+            ctx.store(base + 1, 0xAB, size=2)  # hw misaligned
+            seen["traps"] = machine.stats.total_traps
+
+        system = build_virtualized(RVA23_MACHINE, workload=workload)
+        system.run()
+        assert seen["traps"] == 0  # RVA23: none of these trap
+
+
+class TestVendorCsrs:
+    def test_p550_firmware_writes_allowed_under_miralis(self):
+        """§8.2: 'MIRALIS explicitly allows writes to these CSRs.'"""
+        system = build_virtualized(PREMIER_P550)
+        system.run()
+        vctx = system.miralis.vctx[0]
+        for vendor_csr in PREMIER_P550.vendor_csrs:
+            assert vctx.vendor[vendor_csr] == 1  # the boot-time writes stuck
+
+    def test_vendor_csr_absent_on_other_platform(self):
+        from repro.core.csr_emul import VirtCsrError, read_csr
+        from repro.core.vcpu import VirtContext
+
+        vctx = VirtContext(VISIONFIVE2)
+        with pytest.raises(VirtCsrError):
+            read_csr(vctx, 0x7C0)
+
+    def test_vendor_csr_roundtrip_preserved_across_worlds(self):
+        seen = {}
+
+        def workload(kernel, ctx):
+            kernel.sbi_call(ctx, 0x999, 0)  # force some world switches
+            seen["vctx"] = dict(system.miralis.vctx[0].vendor)
+
+        system = build_virtualized(PREMIER_P550, workload=workload)
+        system.run()
+        assert all(value == 1 for value in seen["vctx"].values())

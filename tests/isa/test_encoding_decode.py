@@ -1,0 +1,194 @@
+"""Encoder/decoder tests: the two must be exact inverses.
+
+This mirrors the paper's Table 2 "instruction decoder" verification task
+at unit-test granularity; the exhaustive sweep lives in
+``tests/verif/test_decoder_check.py``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.decoder import decode
+from repro.isa.encoding import EncodingError, encode
+from repro.isa.instructions import IllegalInstructionError, Instruction
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+shamt6 = st.integers(min_value=0, max_value=63)
+shamt5 = st.integers(min_value=0, max_value=31)
+csr12 = st.integers(min_value=0, max_value=0xFFF)
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr))
+
+
+class TestRoundTrips:
+    @given(regs, regs, imm12)
+    def test_addi(self, rd, rs1, imm):
+        assert roundtrip(Instruction("addi", rd=rd, rs1=rs1, imm=imm)) == \
+            Instruction("addi", rd=rd, rs1=rs1, imm=imm)
+
+    @given(regs, regs, regs)
+    def test_r_type(self, rd, rs1, rs2):
+        for mnemonic in ("add", "sub", "sll", "slt", "sltu", "xor", "srl",
+                         "sra", "or", "and", "mul", "mulh", "div", "rem",
+                         "addw", "subw", "mulw", "divw", "remuw"):
+            instr = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+            assert roundtrip(instr) == instr
+
+    @given(regs, regs, shamt6)
+    def test_shifts(self, rd, rs1, shamt):
+        for mnemonic in ("slli", "srli", "srai"):
+            instr = Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(instr) == instr
+
+    @given(regs, regs, shamt5)
+    def test_word_shifts(self, rd, rs1, shamt):
+        for mnemonic in ("slliw", "srliw", "sraiw"):
+            instr = Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(instr) == instr
+
+    @given(regs, regs, imm12)
+    def test_loads(self, rd, rs1, imm):
+        for mnemonic in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"):
+            instr = Instruction(mnemonic, rd=rd, rs1=rs1, imm=imm)
+            assert roundtrip(instr) == instr
+
+    @given(regs, regs, imm12)
+    def test_stores(self, rs1, rs2, imm):
+        for mnemonic in ("sb", "sh", "sw", "sd"):
+            instr = Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=imm)
+            assert roundtrip(instr) == instr
+
+    @given(regs, regs, st.integers(min_value=-2048, max_value=2046))
+    def test_branches(self, rs1, rs2, half_offset):
+        offset = half_offset * 2
+        for mnemonic in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            instr = Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=offset)
+            assert roundtrip(instr) == instr
+
+    @given(regs, st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_jal(self, rd, half_offset):
+        instr = Instruction("jal", rd=rd, imm=half_offset * 2)
+        assert roundtrip(instr) == instr
+
+    @given(regs, regs, imm12)
+    def test_jalr(self, rd, rs1, imm):
+        instr = Instruction("jalr", rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(regs, st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_lui_auipc(self, rd, field):
+        for mnemonic in ("lui", "auipc"):
+            instr = Instruction(mnemonic, rd=rd, imm=field)
+            decoded = roundtrip(instr)
+            assert decoded.mnemonic == mnemonic
+            assert decoded.rd == rd
+            assert decoded.imm == field
+
+    @given(regs, regs, csr12)
+    def test_csr_register_forms(self, rd, rs1, csr):
+        for mnemonic in ("csrrw", "csrrs", "csrrc"):
+            instr = Instruction(mnemonic, rd=rd, rs1=rs1, csr=csr)
+            assert roundtrip(instr) == instr
+
+    @given(regs, shamt5, csr12)
+    def test_csr_immediate_forms(self, rd, zimm, csr):
+        for mnemonic in ("csrrwi", "csrrsi", "csrrci"):
+            instr = Instruction(mnemonic, rd=rd, rs1=zimm, csr=csr)
+            assert roundtrip(instr) == instr
+
+    def test_system_instructions(self):
+        for mnemonic in ("ecall", "ebreak", "mret", "sret", "wfi", "fence.i"):
+            assert roundtrip(Instruction(mnemonic)) == Instruction(mnemonic)
+
+    @given(regs, regs)
+    def test_sfence_vma(self, rs1, rs2):
+        instr = Instruction("sfence.vma", rs1=rs1, rs2=rs2)
+        assert roundtrip(instr) == instr
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec examples."""
+
+    @pytest.mark.parametrize("instr,word", [
+        (Instruction("mret"), 0x30200073),
+        (Instruction("sret"), 0x10200073),
+        (Instruction("wfi"), 0x10500073),
+        (Instruction("ecall"), 0x00000073),
+        (Instruction("ebreak"), 0x00100073),
+        (Instruction("addi", rd=0, rs1=0, imm=0), 0x00000013),  # nop
+        (Instruction("csrrs", rd=5, rs1=0, csr=0x300), 0x300022F3),
+        (Instruction("csrrw", rd=0, rs1=0, csr=0x340), 0x34001073),
+        (Instruction("jalr", rd=0, rs1=1, imm=0), 0x00008067),  # ret
+        (Instruction("ld", rd=10, rs1=2, imm=16), 0x01013503),
+        (Instruction("sd", rs1=2, rs2=10, imm=8), 0x00A13423),
+    ])
+    def test_golden(self, instr, word):
+        assert encode(instr) == word
+        assert decode(word) == instr
+
+
+class TestIllegalDecodes:
+    def test_compressed_rejected(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0x0001)  # 16-bit encoding space
+
+    def test_zero_word(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0x0000_0000)
+
+    def test_all_ones(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0xFFFF_FFFF)
+
+    def test_bad_opcode(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0x0000007B)  # unused opcode
+
+    def test_bad_shift_funct(self):
+        # slli with non-zero funct6 is reserved.
+        word = encode(Instruction("slli", rd=1, rs1=1, imm=1)) | (1 << 30)
+        with pytest.raises(IllegalInstructionError):
+            decode(word)
+
+    def test_bad_system(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0x7FF00073)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decode_never_crashes_and_reencodes(self, word):
+        """Any word either raises cleanly or decodes to a re-encodable form.
+
+        Re-encoding may differ in don't-care bits (e.g. fence operand
+        fields), but must itself decode back to the same instruction.
+        """
+        try:
+            instr = decode(word)
+        except IllegalInstructionError:
+            return
+        try:
+            word2 = encode(instr)
+        except EncodingError:
+            pytest.fail(f"decoded {instr} from {word:#x} but cannot re-encode")
+        assert decode(word2) == instr
+
+
+class TestEncodingErrors:
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("add", rd=32, rs1=0, rs2=0))
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs1=0, rs2=0, imm=3))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("frobnicate"))

@@ -1,0 +1,159 @@
+"""Policy-module unit behaviours: budgets, limits, PMP provisioning."""
+
+import pytest
+
+from repro.core.vcpu import World
+from repro.policy.keystone import (
+    ERR_NO_FREE_RESOURCE,
+    EXT_KEYSTONE,
+    EnclaveApp,
+    FN_CREATE_ENCLAVE,
+    FN_DESTROY_ENCLAVE,
+    KeystonePolicy,
+)
+from repro.hart.program import Region
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized, memory_regions
+
+
+def build_two_enclave_system():
+    policy = KeystonePolicy()
+    outcome = {}
+
+    def workload(kernel, ctx):
+        regions = memory_regions(VISIONFIVE2)
+        base_a = regions["enclave"].base
+        base_b = regions["enclave"].base + 0x10_0000
+        outcome["a"] = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base_a)
+        outcome["b"] = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base_b)
+        outcome["c"] = kernel.sbi_call(ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, base_a)
+        hook = outcome.get("hook")
+        if hook:
+            hook(kernel, ctx)
+
+    system = build_virtualized(VISIONFIVE2, workload=workload, policy=policy)
+    regions = memory_regions(VISIONFIVE2)
+    for index, offset in enumerate((0, 0x10_0000)):
+        app = EnclaveApp(
+            f"app{index}",
+            Region(f"enclave{index}", regions["enclave"].base + offset,
+                   0x10_0000),
+            system.machine,
+            lambda app, ctx: 0,
+        )
+        policy.register_app(app)
+    return system, policy, outcome
+
+
+class TestKeystoneLimits:
+    def test_two_enclaves_allowed_third_rejected(self):
+        system, policy, outcome = build_two_enclave_system()
+        system.run()
+        assert outcome["a"][0] == 0
+        assert outcome["b"][0] == 0
+        assert outcome["c"][0] == ERR_NO_FREE_RESOURCE
+
+    def test_both_live_enclaves_pmp_protected(self):
+        system, policy, outcome = build_two_enclave_system()
+
+        def hook(kernel, ctx):
+            entries = policy.pmp_entries(World.OS, 0)
+            outcome["entries"] = entries
+
+        outcome["hook"] = hook
+        system.run()
+        assert len(outcome["entries"]) == 2  # one deny entry per enclave
+
+    def test_destroy_frees_a_slot(self):
+        system, policy, outcome = build_two_enclave_system()
+
+        def hook(kernel, ctx):
+            regions = memory_regions(VISIONFIVE2)
+            _, eid_a = outcome["a"]
+            kernel.sbi_call(ctx, EXT_KEYSTONE, FN_DESTROY_ENCLAVE, eid_a)
+            outcome["after_destroy"] = kernel.sbi_call(
+                ctx, EXT_KEYSTONE, FN_CREATE_ENCLAVE, regions["enclave"].base
+            )
+
+        outcome["hook"] = hook
+        system.run()
+        assert outcome["after_destroy"][0] == 0
+
+    def test_policy_budget_matches_figure5(self):
+        system, policy, _ = build_two_enclave_system()
+        # 8 physical - 2 guards - 2 policy - zero - all-memory = 2 virtual.
+        assert policy.num_pmp_entries() == 2
+        assert system.miralis.vpmp.virtual_count == 2
+
+
+class TestAceLimits:
+    def test_tvm_budget(self):
+        from repro.policy.ace import (
+            AcePolicy,
+            ConfidentialVm,
+            ERR_NOT_RUNNABLE,
+            EXT_COVH,
+            FN_PROMOTE_TO_TVM,
+        )
+        from repro.spec.platform import QEMU_VIRT
+
+        policy = AcePolicy()
+        outcome = {}
+
+        def workload(kernel, ctx):
+            regions = memory_regions(QEMU_VIRT)
+            base_a = regions["enclave"].base
+            base_b = regions["enclave"].base + 0x10_0000
+            outcome["a"] = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base_a)
+            outcome["b"] = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base_b)
+            outcome["c"] = kernel.sbi_call(ctx, EXT_COVH, FN_PROMOTE_TO_TVM, base_a)
+
+        system = build_virtualized(QEMU_VIRT, workload=workload, policy=policy)
+        regions = memory_regions(QEMU_VIRT)
+        for index, offset in enumerate((0, 0x10_0000)):
+            vm = ConfidentialVm(
+                f"vm{index}",
+                Region(f"cvm{index}", regions["enclave"].base + offset,
+                       0x10_0000),
+                system.machine,
+                lambda vm, ctx: None,
+            )
+            policy.register_vm(vm)
+        system.run()
+        assert outcome["a"][0] == 0
+        assert outcome["b"][0] == 0
+        assert outcome["c"][0] == ERR_NOT_RUNNABLE & ((1 << 64) - 1)
+
+
+class TestSandboxProvisioning:
+    def test_entries_only_in_locked_firmware_world(self):
+        from repro.policy.sandbox import FirmwareSandboxPolicy
+
+        policy = FirmwareSandboxPolicy()
+        system = build_virtualized(VISIONFIVE2, policy=policy)
+        assert policy.pmp_entries(World.FIRMWARE, 0) == []  # pre-lock
+        system.run()
+        locked_entries = policy.pmp_entries(World.FIRMWARE, 0)
+        assert len(locked_entries) == 2  # allow firmware region + deny all
+        assert policy.pmp_entries(World.OS, 0) == []
+
+    def test_extra_allowed_regions_add_entries(self):
+        from repro.policy.sandbox import FirmwareSandboxPolicy
+
+        policy = FirmwareSandboxPolicy(
+            extra_allowed_regions=[(VISIONFIVE2.uart_base, 0x100)]
+        )
+        assert policy.num_pmp_entries() == 3
+        system = build_virtualized(
+            VISIONFIVE2.with_overrides(pmp_count=16), policy=policy
+        )
+        system.run()
+        assert len(policy.pmp_entries(World.FIRMWARE, 0)) == 3
+
+    def test_default_access_follows_lock_state(self):
+        from repro.policy.sandbox import FirmwareSandboxPolicy
+
+        policy = FirmwareSandboxPolicy()
+        assert policy.allow_firmware_default_access()
+        policy.locked[0] = True
+        assert not policy.allow_firmware_default_access()

@@ -1,0 +1,95 @@
+"""SBI types, constants, and the sandbox register registry."""
+
+import pytest
+
+from repro.sbi import constants as sbi
+from repro.sbi.spec_registry import (
+    A0,
+    A6,
+    A7,
+    ALWAYS_READ,
+    ALWAYS_WRITE,
+    all_signatures,
+    allowed_read_registers,
+    allowed_write_registers,
+    signature_for,
+)
+from repro.sbi.types import SbiCall, SbiRet
+
+
+class TestSbiCall:
+    def test_from_regs(self):
+        regs = [0] * 32
+        regs[17] = sbi.EXT_TIMER
+        regs[16] = sbi.FN_TIMER_SET_TIMER
+        regs[10] = 12345
+        call = SbiCall.from_regs(regs)
+        assert call.eid == sbi.EXT_TIMER
+        assert call.fid == sbi.FN_TIMER_SET_TIMER
+        assert call.arg(0) == 12345
+
+    def test_arg_out_of_range_is_zero(self):
+        call = SbiCall(eid=1, fid=0, args=(1, 2))
+        assert call.arg(5) == 0
+
+    def test_name_known_extension(self):
+        assert SbiCall(sbi.EXT_TIMER, 0).name == "timer.0"
+
+    def test_name_unknown_extension(self):
+        assert "ext:0x999" in SbiCall(0x999, 0).name
+
+
+class TestSbiRet:
+    def test_success(self):
+        ret = SbiRet.success(7)
+        assert ret.is_success and ret.value == 7
+
+    def test_failure(self):
+        ret = SbiRet.failure(sbi.SbiError.ERR_NOT_SUPPORTED)
+        assert not ret.is_success
+
+    def test_to_u64_wraps_negative_error(self):
+        error, _ = SbiRet.failure(sbi.SbiError.ERR_DENIED).to_u64()
+        assert error == ((-4) & ((1 << 64) - 1))
+
+
+class TestRegistry:
+    def test_set_timer_signature(self):
+        signature = signature_for(sbi.EXT_TIMER, sbi.FN_TIMER_SET_TIMER)
+        assert signature.num_args == 1
+        assert signature.readable == ALWAYS_READ | {A0}
+
+    def test_send_ipi_takes_two_args(self):
+        signature = signature_for(sbi.EXT_IPI, sbi.FN_IPI_SEND_IPI)
+        assert signature.num_args == 2
+
+    def test_legacy_ignores_fid(self):
+        assert signature_for(sbi.LEGACY_SET_TIMER, 99) is not None
+
+    def test_unknown_call_returns_none(self):
+        assert signature_for(0x12345678, 0) is None
+
+    def test_unknown_call_gets_minimum_read_set(self):
+        """Unrecognized vendor extensions must not expose OS registers."""
+        assert allowed_read_registers(0x12345678, 0) == frozenset({A6, A7})
+
+    def test_writable_always_just_results(self):
+        for signature in all_signatures():
+            assert allowed_write_registers(signature.eid, signature.fid) == \
+                ALWAYS_WRITE
+
+    def test_no_signature_reads_callee_saved(self):
+        """The allow-list never exposes s-registers (kernel pointers)."""
+        callee_saved = {8, 9} | set(range(18, 28))
+        for signature in all_signatures():
+            assert not signature.readable & callee_saved
+
+    def test_read_set_bounded_by_arguments(self):
+        for signature in all_signatures():
+            assert signature.readable <= ALWAYS_READ | set(range(A0, A0 + 6))
+
+    def test_every_standard_extension_covered(self):
+        covered = {signature.eid for signature in all_signatures()}
+        for eid in (sbi.EXT_BASE, sbi.EXT_TIMER, sbi.EXT_IPI, sbi.EXT_RFENCE,
+                    sbi.EXT_HSM, sbi.EXT_SRST, sbi.EXT_DBCN):
+            assert eid in covered

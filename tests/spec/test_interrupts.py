@@ -1,0 +1,81 @@
+"""Interrupt selection: priority, delegation, and enable gating."""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.spec.interrupts import pending_interrupt, pending_interrupt_for
+from repro.spec.platform import VISIONFIVE2
+from repro.spec.state import MachineState
+
+
+def select(mip, mie, mideleg=0, mode=c.M_MODE, mie_bit=True, sie_bit=False):
+    return pending_interrupt_for(mip, mie, mideleg, mode, mie_bit, sie_bit)
+
+
+class TestGlobalEnables:
+    def test_m_mode_needs_mie(self):
+        assert select(c.MIP_MTIP, c.MIP_MTIP, mode=c.M_MODE, mie_bit=False) is None
+        assert select(c.MIP_MTIP, c.MIP_MTIP, mode=c.M_MODE, mie_bit=True) == c.IRQ_MTI
+
+    def test_lower_mode_ignores_mie_for_m_interrupts(self):
+        assert select(c.MIP_MTIP, c.MIP_MTIP, mode=c.S_MODE, mie_bit=False) == c.IRQ_MTI
+        assert select(c.MIP_MTIP, c.MIP_MTIP, mode=c.U_MODE, mie_bit=False) == c.IRQ_MTI
+
+    def test_s_mode_needs_sie_for_delegated(self):
+        assert select(c.MIP_STIP, c.MIP_STIP, mideleg=c.MIP_STIP,
+                      mode=c.S_MODE, sie_bit=False) is None
+        assert select(c.MIP_STIP, c.MIP_STIP, mideleg=c.MIP_STIP,
+                      mode=c.S_MODE, sie_bit=True) == c.IRQ_STI
+
+    def test_u_mode_takes_delegated_regardless_of_sie(self):
+        assert select(c.MIP_STIP, c.MIP_STIP, mideleg=c.MIP_STIP,
+                      mode=c.U_MODE, sie_bit=False) == c.IRQ_STI
+
+    def test_delegated_never_taken_in_m(self):
+        assert select(c.MIP_STIP, c.MIP_STIP, mideleg=c.MIP_STIP,
+                      mode=c.M_MODE, mie_bit=True) is None
+
+
+class TestMasking:
+    def test_disabled_interrupt_not_taken(self):
+        assert select(c.MIP_MTIP, 0) is None
+
+    def test_pending_required(self):
+        assert select(0, c.MIP_MASK) is None
+
+
+class TestPriority:
+    def test_external_beats_software_beats_timer(self):
+        pending = c.MIP_MEIP | c.MIP_MSIP | c.MIP_MTIP
+        assert select(pending, pending) == c.IRQ_MEI
+        assert select(c.MIP_MSIP | c.MIP_MTIP, pending) == c.IRQ_MSI
+        assert select(c.MIP_MTIP, pending) == c.IRQ_MTI
+
+    def test_m_destined_beats_s_destined(self):
+        # Non-delegated SSI (destined for M) vs delegated SEI: M wins even
+        # though SEI has higher per-interrupt priority.
+        pending = c.MIP_SSIP | c.MIP_SEIP
+        choice = select(pending, pending, mideleg=c.MIP_SEIP,
+                        mode=c.S_MODE, mie_bit=True, sie_bit=True)
+        assert choice == c.IRQ_SSI
+
+    def test_s_level_priority_order(self):
+        pending = c.MIP_SEIP | c.MIP_SSIP | c.MIP_STIP
+        choice = select(pending, pending, mideleg=c.SIP_MASK,
+                        mode=c.U_MODE)
+        assert choice == c.IRQ_SEI
+
+
+class TestMachineStateIntegration:
+    def test_pending_interrupt_returns_trap(self):
+        state = MachineState(VISIONFIVE2)
+        state.csr.mie = c.MIP_MTIP
+        state.csr.set_interrupt_line(c.IRQ_MTI, True)
+        state.csr.mstatus |= c.MSTATUS_MIE
+        trap = pending_interrupt(state)
+        assert trap is not None
+        assert trap.is_interrupt and trap.cause == c.IRQ_MTI
+
+    def test_no_pending_returns_none(self):
+        state = MachineState(VISIONFIVE2)
+        assert pending_interrupt(state) is None

@@ -1,0 +1,186 @@
+"""Reference pmpCheck semantics: match modes, priority, partial matches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import constants as c
+from repro.isa.bits import napot_encode
+from repro.spec.pmp import PmpEntry, entry_permits, pmp_check
+
+R, W, X, L = c.PMP_R, c.PMP_W, c.PMP_X, c.PMP_L
+OFF = int(c.PmpAddressMode.OFF) << c.PMP_A_SHIFT
+TOR = int(c.PmpAddressMode.TOR) << c.PMP_A_SHIFT
+NA4 = int(c.PmpAddressMode.NA4) << c.PMP_A_SHIFT
+NAPOT = int(c.PmpAddressMode.NAPOT) << c.PMP_A_SHIFT
+
+READ = c.AccessType.READ
+WRITE = c.AccessType.WRITE
+EXECUTE = c.AccessType.EXECUTE
+
+
+def check(cfg, addr, address, size=8, access=READ, mode=c.S_MODE):
+    count = len(cfg)
+    cfg = cfg + [0] * (8 - len(cfg))
+    addr = addr + [0] * (8 - len(addr))
+    return pmp_check(cfg, addr, address, size, access, mode, pmp_count=8)
+
+
+class TestAddressingModes:
+    def test_off_never_matches(self):
+        result = check([OFF | R | W | X], [(1 << 54) - 1], 0x1000)
+        assert result.matched_index is None
+
+    def test_na4_matches_exactly_four_bytes(self):
+        cfg, addr = [NA4 | R], [0x1000 >> 2]
+        assert check(cfg, addr, 0x1000, size=4).allowed
+        assert check(cfg, addr, 0x1004, size=4).matched_index is None
+
+    def test_napot_range(self):
+        cfg = [NAPOT | R]
+        addr = [napot_encode(0x2000, 0x1000)]
+        assert check(cfg, addr, 0x2000).allowed
+        assert check(cfg, addr, 0x2FF8).allowed
+        assert check(cfg, addr, 0x3000).matched_index is None
+
+    def test_tor_uses_previous_entry(self):
+        cfg = [OFF, TOR | R]
+        addr = [0x1000 >> 2, 0x2000 >> 2]
+        result = check(cfg, addr, 0x1800)
+        assert result.allowed and result.matched_index == 1
+        assert check(cfg, addr, 0x800).matched_index is None
+
+    def test_tor_entry_zero_starts_at_zero(self):
+        cfg = [TOR | R]
+        addr = [0x1000 >> 2]
+        assert check(cfg, addr, 0x0).allowed
+        assert check(cfg, addr, 0xFF8).allowed
+        assert check(cfg, addr, 0x1000).matched_index is None
+
+    def test_empty_tor_range_never_matches(self):
+        cfg = [OFF, TOR | R]
+        addr = [0x2000 >> 2, 0x1000 >> 2]  # end <= start
+        assert check(cfg, addr, 0x1800).matched_index is None
+
+
+class TestPriority:
+    def test_lowest_index_wins(self):
+        region = napot_encode(0x1000, 0x1000)
+        cfg = [NAPOT, NAPOT | R | W | X]  # entry 0 denies, entry 1 allows
+        assert not check(cfg, [region, region], 0x1000).allowed
+
+    def test_higher_entry_applies_when_lower_is_off(self):
+        region = napot_encode(0x1000, 0x1000)
+        cfg = [OFF, NAPOT | R]
+        assert check(cfg, [region, region], 0x1000).allowed
+
+    def test_first_match_even_if_denying(self):
+        inner = napot_encode(0x1000, 8)
+        outer = napot_encode(0x1000, 0x1000)
+        cfg = [NAPOT, NAPOT | R | W | X]
+        result = check(cfg, [inner, outer], 0x1000)
+        assert result.matched_index == 0 and not result.allowed
+        # Outside the inner region the outer entry applies.
+        assert check(cfg, [inner, outer], 0x1800).allowed
+
+
+class TestPartialMatches:
+    def test_straddling_access_fails(self):
+        cfg = [NAPOT | R | W | X]
+        addr = [napot_encode(0x1000, 0x1000)]
+        result = check(cfg, addr, 0xFFC, size=8)
+        assert result.matched_index == 0 and not result.allowed
+
+    def test_partial_match_fails_even_for_m_mode(self):
+        cfg = [NAPOT | R]
+        addr = [napot_encode(0x1000, 8)]
+        result = check(cfg, addr, 0x1004, size=8, mode=c.M_MODE)
+        assert not result.allowed
+
+
+class TestMachineMode:
+    def test_m_mode_default_allow(self):
+        assert check([OFF], [0], 0x12345, mode=c.M_MODE).allowed
+
+    def test_m_mode_ignores_unlocked_entries(self):
+        cfg = [NAPOT]  # no permissions
+        addr = [napot_encode(0x1000, 0x1000)]
+        assert check(cfg, addr, 0x1000, mode=c.M_MODE).allowed
+
+    def test_m_mode_respects_locked_entries(self):
+        cfg = [NAPOT | L]  # locked, no permissions
+        addr = [napot_encode(0x1000, 0x1000)]
+        assert not check(cfg, addr, 0x1000, mode=c.M_MODE).allowed
+
+    def test_locked_with_permission_allows_m(self):
+        cfg = [NAPOT | L | R]
+        addr = [napot_encode(0x1000, 0x1000)]
+        assert check(cfg, addr, 0x1000, access=READ, mode=c.M_MODE).allowed
+        assert not check(cfg, addr, 0x1000, access=WRITE, mode=c.M_MODE).allowed
+
+
+class TestSupervisorUserDefaults:
+    @pytest.mark.parametrize("mode", [c.S_MODE, c.U_MODE])
+    def test_no_match_denies(self, mode):
+        assert not check([OFF], [0], 0x1000, mode=mode).allowed
+
+    def test_no_pmp_implemented_allows_everything(self):
+        result = pmp_check([], [], 0x1000, 8, READ, c.S_MODE, pmp_count=0)
+        assert result.allowed
+
+
+class TestPermissionBits:
+    @pytest.mark.parametrize("perm,access,allowed", [
+        (R, READ, True), (R, WRITE, False), (R, EXECUTE, False),
+        (R | W, WRITE, True), (X, EXECUTE, True), (X, READ, False),
+        (R | W | X, WRITE, True),
+    ])
+    def test_s_mode_permissions(self, perm, access, allowed):
+        cfg = [NAPOT | perm]
+        addr = [napot_encode(0x1000, 0x1000)]
+        assert check(cfg, addr, 0x1000, access=access).allowed is allowed
+
+    def test_entry_permits_helper(self):
+        assert entry_permits(R, READ, c.S_MODE)
+        assert not entry_permits(R, WRITE, c.S_MODE)
+        assert entry_permits(0, READ, c.M_MODE)  # unlocked → M unconstrained
+        assert not entry_permits(L, READ, c.M_MODE)
+
+
+class TestPmpEntry:
+    def test_byte_range_off(self):
+        assert PmpEntry(OFF, 0x1000).byte_range(0) is None
+
+    def test_byte_range_napot(self):
+        entry = PmpEntry(NAPOT, napot_encode(0x4000, 0x2000))
+        assert entry.byte_range(0) == (0x4000, 0x6000)
+
+    def test_byte_range_tor(self):
+        entry = PmpEntry(TOR, 0x2000 >> 2)
+        assert entry.byte_range(0x1000 >> 2) == (0x1000, 0x2000)
+
+    def test_locked_property(self):
+        assert PmpEntry(L, 0).locked
+        assert not PmpEntry(R, 0).locked
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=0xFF),
+        st.integers(min_value=0, max_value=(1 << 54) - 1),
+        st.integers(min_value=0, max_value=(1 << 40)),
+    )
+    def test_m_mode_allowed_unless_locked_match(self, cfg_byte, pmpaddr, address):
+        cfg_byte &= c.PMP_CFG_VALID_MASK
+        result = pmp_check([cfg_byte] + [0] * 7, [pmpaddr] + [0] * 7,
+                           address, 8, READ, c.M_MODE, pmp_count=8)
+        if not cfg_byte & L and result.matched_index == 0:
+            assert result.allowed or result.matched_index == 0  # partial only
+        if result.matched_index is None:
+            assert result.allowed
+
+    @given(st.integers(min_value=0, max_value=(1 << 40)))
+    def test_deny_all_s_mode_without_entries(self, address):
+        result = pmp_check([0] * 8, [0] * 8, address, 8, READ, c.S_MODE,
+                           pmp_count=8)
+        assert not result.allowed

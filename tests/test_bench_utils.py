@@ -1,0 +1,126 @@
+"""Benchmark-harness utilities: statistics, tables, runner plumbing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.stats import (
+    geomean,
+    latency_distribution,
+    mean,
+    overhead_percent,
+    percentile,
+    relative,
+)
+from repro.bench.tables import format_ns, render_series, render_table
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_extremes(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_p99(self):
+        values = list(range(1, 101))
+        assert percentile(values, 99) == 99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1),
+           st.floats(min_value=0, max_value=100))
+    def test_within_range(self, values, p):
+        result = percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    def test_distribution_points(self):
+        dist = latency_distribution(list(range(1000)))
+        assert dist[50] <= dist[95] <= dist[99] <= dist[99.9]
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+
+    def test_relative(self):
+        assert relative(110, 100) == pytest.approx(1.1)
+
+    def test_relative_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative(1, 0)
+
+    def test_overhead_percent(self):
+        assert overhead_percent(120, 100) == pytest.approx(20.0)
+        assert overhead_percent(90, 100) == pytest.approx(-10.0)
+
+    @given(st.floats(min_value=0.1, max_value=1e6),
+           st.floats(min_value=0.1, max_value=1e6))
+    def test_overhead_relative_consistency(self, value, baseline):
+        assert overhead_percent(value, baseline) == pytest.approx(
+            (relative(value, baseline) - 1) * 100
+        )
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        text = render_table("T", ("a", "bb"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_render_series(self):
+        text = render_series("S", {"g1": {"a": 1.0}, "g2": {"a": 2.0, "b": 3.0}})
+        assert "g1" in text and "1.000" in text and "-" in text
+
+    @pytest.mark.parametrize("value,expected", [
+        (250, "250 ns"),
+        (2_500, "2.50 µs"),
+        (2_500_000, "2.50 ms"),
+    ])
+    def test_format_ns(self, value, expected):
+        assert format_ns(value) == expected
+
+
+class TestRunner:
+    def test_unknown_configuration_rejected(self):
+        from repro.bench.runner import build_system
+        from repro.spec.platform import VISIONFIVE2
+
+        with pytest.raises(ValueError):
+            build_system("xen", VISIONFIVE2, lambda kernel, ctx: None)
+
+    def test_measurement_properties(self):
+        from repro.bench.runner import run_workload
+        from repro.os_model.workloads import GCC
+        from repro.spec.platform import VISIONFIVE2
+
+        measurement = run_workload("native", VISIONFIVE2, mix=GCC,
+                                   operations=30)
+        assert measurement.throughput > 0
+        assert measurement.trap_rate > 0
+        assert measurement.simulated_seconds > 0
+        assert measurement.configuration == "native"
+        assert "reset" in measurement.halt_reason
+
+    def test_compare_configurations_keys(self):
+        from repro.bench.runner import compare_configurations
+        from repro.os_model.workloads import GCC
+        from repro.spec.platform import VISIONFIVE2
+
+        runs = compare_configurations(VISIONFIVE2, GCC, operations=20)
+        assert set(runs) == {"native", "miralis", "miralis-no-offload"}
+        # Offload keeps world switches below the no-offload run.
+        assert runs["miralis"].world_switches <= \
+            runs["miralis-no-offload"].world_switches

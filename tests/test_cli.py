@@ -1,0 +1,70 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_boot_defaults(self):
+        args = build_parser().parse_args(["boot"])
+        assert args.platform == "visionfive2"
+        assert not args.native
+        assert args.policy == "sandbox"
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["boot", "--platform", "pdp11"])
+
+
+class TestBootCommand:
+    def test_native_boot(self, capsys):
+        assert main(["boot", "--native"]) == 0
+        out = capsys.readouterr().out
+        assert "halt:" in out and "traps to M-mode" in out
+
+    def test_virtualized_boot(self, capsys):
+        assert main(["boot"]) == 0
+        out = capsys.readouterr().out
+        assert "world switches:" in out
+        assert "fast-path hits:" in out
+
+    def test_no_offload_boot(self, capsys):
+        assert main(["boot", "--no-offload", "--policy", "default"]) == 0
+        assert "emulated instrs:" in capsys.readouterr().out
+
+    def test_p550_boot(self, capsys):
+        assert main(["boot", "--platform", "premier-p550"]) == 0
+
+
+class TestAttackCommand:
+    def test_list(self, capsys):
+        assert main(["attack", "--list"]) == 0
+        assert "read_os_memory" in capsys.readouterr().out
+
+    def test_native_attack_succeeds(self, capsys):
+        assert main(["attack", "read_os_memory", "--native"]) == 0
+        assert "succeeded:  True" in capsys.readouterr().out
+
+    def test_sandboxed_attack_contained(self, capsys):
+        assert main(["attack", "read_os_memory"]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded:  False" in out
+        assert "denied" in out or "halted" in out
+
+
+class TestVerifyCommand:
+    def test_verify_passes(self, capsys):
+        assert main(["verify", "--states", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "faithful-emulation" in out and "PASS" in out
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean(self, capsys):
+        assert main(["fuzz", "--count", "3", "--length", "15"]) == 0
+        assert "0 divergence(s)" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Every shipped example must run to completion (they are executable docs)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"
+
+
+def test_quickstart_shows_both_deployments(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Native deployment" in out
+    assert "Miralis deployment" in out
+    assert "fast-path hits" in out
+
+
+def test_sandbox_demo_shows_containment(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "sandbox_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "full compromise" in out
+    assert "contained" in out

@@ -1,0 +1,253 @@
+"""Faithful emulation (Definition 1): the emulator matches the spec.
+
+The Table 2 verification tasks, as exhaustive structured enumeration plus
+Hypothesis sampling: CSR reads/writes over every implemented CSR, mret,
+sret, wfi, and end-to-end emulation over random states.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import constants as c
+from repro.isa.instructions import Instruction
+from repro.spec.csrs import known_csr_addresses
+from repro.spec.platform import PREMIER_P550, RVA23_MACHINE, VISIONFIVE2
+from repro.verif import (
+    StateDescription,
+    check_instruction,
+    csr_instruction_space,
+    csr_value_space,
+    mstatus_space,
+    run_emulation_check,
+    system_instruction_space,
+    virtual_platform,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+VF2_VIRTUAL = virtual_platform(VISIONFIVE2, virtual_pmp_count=4)
+P550_VIRTUAL = virtual_platform(PREMIER_P550, virtual_pmp_count=4)
+RVA23_VIRTUAL = virtual_platform(RVA23_MACHINE, virtual_pmp_count=10)
+
+
+def baseline_descriptions():
+    return [
+        StateDescription(),
+        StateDescription(csr_values={"mstatus": (1 << 11) | c.MSTATUS_MPIE}),
+        StateDescription(
+            csr_values={"mie": c.MIP_MASK, "mip": c.MIP_MTIP | c.MIP_SSIP},
+            gprs=[0] + [0xDEAD_BEEF] * 31,
+        ),
+        StateDescription(csr_values={"mtvec": 0x8020_0001}),  # vectored
+        StateDescription(pc=0xFFFF_FFFF_FFFF_FFFC),  # pc at the 64-bit edge
+    ]
+
+
+class TestCsrReadTask:
+    """Table 2 'CSR read': every CSR, multiple source states."""
+
+    @pytest.mark.parametrize("platform", [VF2_VIRTUAL, P550_VIRTUAL,
+                                          RVA23_VIRTUAL],
+                             ids=["vf2", "p550", "rva23"])
+    def test_all_reads_match(self, platform):
+        instructions = [
+            Instruction("csrrs", rd=1, rs1=0, csr=csr)
+            for csr in known_csr_addresses(platform)
+        ]
+        report = run_emulation_check(
+            platform, baseline_descriptions(), instructions, task="csr-read"
+        )
+        assert report.passed, report.first_failures()
+        assert report.inputs_checked >= 150
+
+
+class TestCsrWriteTask:
+    """Table 2 'CSR write': boundary values through every CSR."""
+
+    def test_all_writes_match_vf2(self):
+        platform = VF2_VIRTUAL
+        descriptions = [
+            StateDescription(gprs=[0] + [value] * 31)
+            for value in csr_value_space(samples=4)[:40]
+        ]
+        report = run_emulation_check(
+            platform, descriptions, csr_instruction_space(
+                known_csr_addresses(platform)
+            ),
+            task="csr-write",
+        )
+        assert report.passed, report.first_failures()
+        assert report.inputs_checked > 10_000
+
+    def test_mstatus_field_product(self):
+        platform = VF2_VIRTUAL
+        descriptions = [
+            StateDescription(csr_values={"mstatus": value},
+                             gprs=[0] + [operand] * 31)
+            for value in mstatus_space()[:48]
+            for operand in (0, (1 << 64) - 1, 0x1AAA)
+        ]
+        instructions = [
+            Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_MSTATUS),
+            Instruction("csrrs", rd=1, rs1=2, csr=c.CSR_MSTATUS),
+            Instruction("csrrc", rd=1, rs1=2, csr=c.CSR_MSTATUS),
+            Instruction("csrrw", rd=1, rs1=2, csr=c.CSR_SSTATUS),
+        ]
+        report = run_emulation_check(platform, descriptions, instructions,
+                                     task="mstatus-write")
+        assert report.passed, report.first_failures()
+
+    def test_pmp_registers(self):
+        platform = VF2_VIRTUAL
+        pmp_csrs = [c.CSR_PMPCFG0, c.CSR_PMPCFG0 + 2,
+                    c.CSR_PMPADDR0, c.CSR_PMPADDR0 + 3, c.CSR_PMPADDR0 + 9]
+        descriptions = [
+            StateDescription(gprs=[0] + [value] * 31)
+            for value in (0x1F, 0x1A1A1A1A1A1A1A1A, 0x9898989898989898,
+                          (1 << 64) - 1, 0x0707070707070707)
+        ]
+        report = run_emulation_check(
+            platform, descriptions, csr_instruction_space(pmp_csrs),
+            task="pmp-csr-write",
+        )
+        assert report.passed, report.first_failures()
+
+    def test_interrupt_registers(self):
+        platform = VF2_VIRTUAL
+        irq_csrs = [c.CSR_MIE, c.CSR_MIP, c.CSR_SIE, c.CSR_SIP,
+                    c.CSR_MIDELEG, c.CSR_MEDELEG]
+        descriptions = [
+            StateDescription(
+                csr_values={"mip": pending, "mie": enabled},
+                gprs=[0] + [operand] * 31,
+            )
+            for pending in (0, c.MIP_MASK, c.MIP_MTIP)
+            for enabled in (0, c.MIP_MASK)
+            for operand in (0, (1 << 64) - 1, c.SIP_MASK)
+        ]
+        report = run_emulation_check(
+            platform, descriptions, csr_instruction_space(irq_csrs),
+            task="interrupt-csrs",
+        )
+        assert report.passed, report.first_failures()
+
+
+class TestXretTasks:
+    """Table 2 'mret instruction' / sret: over the mstatus field product."""
+
+    @pytest.mark.parametrize("mnemonic", ["mret", "sret"])
+    def test_xret_over_mstatus_space(self, mnemonic):
+        platform = VF2_VIRTUAL
+        descriptions = [
+            StateDescription(
+                csr_values={"mstatus": value, "mepc": 0x8400_0000,
+                            "sepc": 0x8400_2000},
+            )
+            for value in mstatus_space()
+        ]
+        report = run_emulation_check(
+            platform, descriptions, [Instruction(mnemonic)], task=mnemonic
+        )
+        assert report.passed, report.first_failures()
+        assert report.inputs_checked >= 128
+
+    def test_mret_with_extreme_mepc(self):
+        platform = VF2_VIRTUAL
+        descriptions = [
+            StateDescription(csr_values={"mepc": value})
+            for value in (0, 4, (1 << 64) - 4, 0x8000_0000)
+        ]
+        report = run_emulation_check(
+            platform, descriptions, [Instruction("mret")], task="mret-mepc"
+        )
+        assert report.passed, report.first_failures()
+
+
+class TestWfiAndFences:
+    def test_wfi(self):
+        report = run_emulation_check(
+            VF2_VIRTUAL, baseline_descriptions(), [Instruction("wfi")],
+            task="wfi",
+        )
+        assert report.passed, report.first_failures()
+
+    def test_ecall_injection(self):
+        report = run_emulation_check(
+            VF2_VIRTUAL, baseline_descriptions(), [Instruction("ecall")],
+            task="ecall",
+        )
+        assert report.passed, report.first_failures()
+
+    def test_fences(self):
+        report = run_emulation_check(
+            VF2_VIRTUAL, baseline_descriptions(),
+            [Instruction("sfence.vma"), Instruction("fence.i")],
+            task="fences",
+        )
+        assert report.passed, report.first_failures()
+
+
+class TestEndToEnd:
+    """Table 2 'end-to-end emulation': the full instruction space against
+    structured states on every platform flavour."""
+
+    @pytest.mark.parametrize("platform", [VF2_VIRTUAL, P550_VIRTUAL,
+                                          RVA23_VIRTUAL],
+                             ids=["vf2", "p550", "rva23"])
+    def test_full_sweep(self, platform):
+        instructions = list(
+            csr_instruction_space(known_csr_addresses(platform))
+        ) + list(system_instruction_space())
+        report = run_emulation_check(
+            platform, baseline_descriptions(), instructions, task="end-to-end"
+        )
+        assert report.passed, report.first_failures()
+        assert report.inputs_checked > 3_000
+
+
+class TestPropertyBased:
+    """Hypothesis sampling over the full 64-bit state space."""
+
+    @given(u64, u64, st.sampled_from(["csrrw", "csrrs", "csrrc"]))
+    @settings(max_examples=200, deadline=None)
+    def test_random_mstatus_writes(self, state_value, operand, mnemonic):
+        description = StateDescription(
+            csr_values={"mstatus": state_value}, gprs=[0] + [operand] * 31
+        )
+        divergences = check_instruction(
+            VF2_VIRTUAL, description,
+            Instruction(mnemonic, rd=3, rs1=4, csr=c.CSR_MSTATUS),
+        )
+        assert not divergences, divergences[0]
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=150, deadline=None)
+    def test_random_pmpaddr_writes(self, operand, entry_selector):
+        description = StateDescription(gprs=[0] + [operand] * 31)
+        csr = c.CSR_PMPADDR0 + (entry_selector % 16)
+        divergences = check_instruction(
+            VF2_VIRTUAL, description, Instruction("csrrw", rd=3, rs1=4, csr=csr)
+        )
+        assert not divergences, divergences[0]
+
+    @given(u64, u64)
+    @settings(max_examples=150, deadline=None)
+    def test_random_mret(self, mstatus, mepc):
+        description = StateDescription(
+            csr_values={"mstatus": mstatus, "mepc": mepc}
+        )
+        divergences = check_instruction(
+            VF2_VIRTUAL, description, Instruction("mret")
+        )
+        assert not divergences, divergences[0]
+
+    @given(st.integers(min_value=0, max_value=0xFFF), u64)
+    @settings(max_examples=300, deadline=None)
+    def test_random_csr_address_space(self, csr, operand):
+        """Any CSR address: both models agree, including on illegality."""
+        description = StateDescription(gprs=[0] + [operand] * 31)
+        divergences = check_instruction(
+            VF2_VIRTUAL, description, Instruction("csrrw", rd=3, rs1=4, csr=csr)
+        )
+        assert not divergences, divergences[0]

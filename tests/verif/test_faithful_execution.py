@@ -1,0 +1,95 @@
+"""Faithful execution (Definition 2): PMP programming matches the reference.
+
+Follows §6.4: symbolic (enumerated) virtual PMP registers are run through
+Miralis's install function, and the reference ``pmpCheck`` compares
+physical against virtual access decisions at structured probe addresses.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vcpu import World
+from repro.isa import constants as c
+from repro.spec.platform import PREMIER_P550, VISIONFIVE2
+from repro.system import build_virtualized
+from repro.verif import (
+    address_probe_points,
+    check_pmp_configuration,
+    pmp_config_space,
+    run_execution_check,
+)
+
+
+@pytest.fixture(scope="module")
+def vf2_system():
+    return build_virtualized(VISIONFIVE2)
+
+
+class TestStructuredSweep:
+    def test_full_configuration_space_vf2(self, vf2_system):
+        report = run_execution_check(
+            vf2_system,
+            pmp_config_space(vf2_system.miralis.vpmp.virtual_count),
+        )
+        assert report.passed, report.first_failures()
+        assert report.inputs_checked >= 200
+
+    def test_full_configuration_space_p550(self):
+        system = build_virtualized(PREMIER_P550)
+        report = run_execution_check(
+            system, pmp_config_space(system.miralis.vpmp.virtual_count)
+        )
+        assert report.passed, report.first_failures()
+
+    def test_monitor_always_protected(self, vf2_system):
+        """No virtual PMP configuration can open the monitor's memory."""
+        miralis = vf2_system.miralis
+        hart = vf2_system.machine.harts[0]
+        vctx = miralis.vctx[0]
+        hostile = [
+            # All-memory RWX attempts in every mode.
+            ([0x1F] * 4, [(1 << 54) - 1] * 4),
+            ([0x0F] * 4, [(1 << 54) - 1] * 4),  # TOR all-memory
+            # Pinpoint the monitor region.
+            ([0x1F, 0, 0, 0],
+             [__import__("repro.isa.bits", fromlist=["napot_encode"])
+              .napot_encode(miralis.region.base, miralis.region.size), 0, 0, 0]),
+        ]
+        probe = [miralis.region.base, miralis.region.base + 0x8000,
+                 miralis.region.end - 8]
+        for cfg, addr in hostile:
+            count = vctx.virtual_pmp_count
+            vctx.pmpcfg = list(cfg[:count]) + [0] * (64 - count)
+            vctx.pmpaddr = list(addr[:count]) + [0] * (64 - count)
+            for world in (World.FIRMWARE, World.OS):
+                miralis.vpmp.install(hart, vctx, world, miralis.policy)
+                divergences = check_pmp_configuration(
+                    miralis, hart, vctx, probe, world
+                )
+                assert not divergences, divergences[0]
+
+    def test_probe_points_cover_boundaries(self, vf2_system):
+        points = address_probe_points(vf2_system.machine.config)
+        clint_base = vf2_system.machine.config.clint_base
+        assert clint_base in points
+        assert clint_base - 8 in points
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0x9F),
+            min_size=4, max_size=4,
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 40)),
+            min_size=4, max_size=4,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_configurations(self, cfg, addr):
+        system = build_virtualized(VISIONFIVE2)
+        cfg = [byte & c.PMP_CFG_VALID_MASK for byte in cfg]
+        report = run_execution_check(system, [(cfg, addr)])
+        assert report.passed, report.first_failures()
