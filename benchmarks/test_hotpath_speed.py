@@ -1,0 +1,94 @@
+"""Hot-path throughput benchmark: interpreter steps/sec with the perf layer.
+
+Boots the virtualized deployment on a trap-heavy mix twice — perf caches
+enabled and disabled — and emits ``BENCH_hotpath.json`` at the repo root
+so CI and CHANGES.md can track interpreter throughput over time.
+
+Run directly (not part of tier-1):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_hotpath_speed.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import once
+from repro import perf
+from repro.os_model.workloads import TrapMix, run_trap_mix
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+HOTPATH_MIX = TrapMix(
+    "hotpath",
+    time_reads_per_s=5_000,
+    timer_sets_per_s=1_000,
+    ipis_per_s=500,
+    rfences_per_s=300,
+    misaligned_per_s=100,
+)
+OPERATIONS = 400
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def _boot_and_measure() -> dict:
+    def workload(kernel, ctx):
+        run_trap_mix(kernel, ctx, HOTPATH_MIX, operations=OPERATIONS)
+
+    system = build_virtualized(
+        VISIONFIVE2, workload=workload, keep_trap_events=False
+    )
+    meter = perf.StepMeter()
+    with meter:
+        halt = system.run()
+    meter.add_steps(sum(hart.instret for hart in system.machine.harts))
+    return {
+        "halt": halt,
+        "steps": meter.steps,
+        "wall_seconds": meter.elapsed,
+        "steps_per_second": meter.steps_per_second,
+        "traps": system.machine.stats.total_traps,
+        "fastpath_hits": system.machine.stats.fastpath_hits,
+    }
+
+
+def test_hotpath_steps_per_second(benchmark, show):
+    def run_both():
+        perf.clear_caches()
+        cached = _boot_and_measure()
+        with perf.caches_disabled():
+            uncached = _boot_and_measure()
+        return cached, uncached
+
+    cached, uncached = once(benchmark, run_both)
+
+    # Same simulation either way — the caches are pure memoization.
+    assert cached["halt"] == uncached["halt"]
+    assert cached["steps"] == uncached["steps"]
+    assert cached["traps"] == uncached["traps"]
+    assert cached["steps_per_second"] > 0
+
+    report = {
+        "benchmark": "hotpath",
+        "platform": VISIONFIVE2.name,
+        "mix": HOTPATH_MIX.name,
+        "operations": OPERATIONS,
+        "steps": cached["steps"],
+        "steps_per_second": round(cached["steps_per_second"]),
+        "steps_per_second_uncached": round(uncached["steps_per_second"]),
+        "speedup_vs_uncached": round(
+            cached["steps_per_second"] / uncached["steps_per_second"], 3
+        ),
+        "wall_seconds": round(cached["wall_seconds"], 4),
+        "traps": cached["traps"],
+        "fastpath_hits": cached["fastpath_hits"],
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    show(
+        "hotpath: {steps_per_second:,} steps/sec cached, "
+        "{steps_per_second_uncached:,} uncached "
+        "({speedup_vs_uncached}x) -> {path}".format(
+            path=RESULT_PATH.name, **report
+        )
+    )

@@ -35,6 +35,7 @@ def _demo_workload(kernel, ctx):
 
 
 def command_boot(args: argparse.Namespace) -> int:
+    from repro.perf import StepMeter, profile_report
     from repro.system import build_native, build_virtualized
     from repro.policy import DefaultPolicy, FirmwareSandboxPolicy
 
@@ -53,7 +54,10 @@ def command_boot(args: argparse.Namespace) -> int:
             platform, workload=_demo_workload, policy=policy,
             offload=not args.no_offload,
         )
-    reason = system.run()
+    meter = StepMeter()
+    with meter:
+        reason = system.run()
+    meter.add_steps(sum(hart.instret for hart in system.machine.harts))
     print(system.console_output)
     print(f"halt:             {reason}")
     stats = system.machine.stats
@@ -63,6 +67,8 @@ def command_boot(args: argparse.Namespace) -> int:
         print(f"world switches:   {stats.world_switches}")
         print(f"emulated instrs:  {system.miralis.emulation_count}")
         print(f"fast-path hits:   {dict(system.miralis.offload.hits)}")
+    if args.profile:
+        print(profile_report(system.machine, meter))
     return 0
 
 
@@ -185,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable fast-path offloading")
     boot.add_argument("--policy", choices=["default", "sandbox"],
                       default="sandbox")
+    boot.add_argument("--profile", action="store_true",
+                      help="print a hot-path profile (cache hit rates, "
+                           "steps/sec) after the run")
     boot.set_defaults(func=command_boot)
 
     attack = sub.add_parser("attack", help="run an adversarial firmware")

@@ -124,16 +124,18 @@ class FastPath:
         )
         return SbiRet.success()
 
-    def _sbi_send_ipi(self, hart, hart_mask: int, mask_base: int) -> SbiRet:
+    def _ipi_targets(self, hart_mask: int, mask_base: int) -> Optional[list[int]]:
+        """Decode an SBI hart mask; None if any target is out of range."""
         num_harts = self.machine.config.num_harts
         if mask_base == U64:
-            targets = list(range(num_harts))
-        else:
-            targets = [mask_base + i for i in range(64) if hart_mask >> i & 1]
+            return list(range(num_harts))
+        targets = [mask_base + i for i in range(64) if hart_mask >> i & 1]
         for target in targets:
             if not 0 <= target < num_harts:
-                return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
-        hart.charge(self.costs.fastpath_ipi)
+                return None
+        return targets
+
+    def _deliver_ipi(self, hart, targets: list[int]) -> None:
         for target in targets:
             if target == hart.hartid:
                 # Self-IPI: raise SSIP directly, no CLINT round trip.
@@ -141,11 +143,24 @@ class FastPath:
                 continue
             self.machine.clint.write(0x0 + 4 * target, 4, 1)
             hart.charge(hart.cycle_model.mmio_access)
+
+    def _sbi_send_ipi(self, hart, hart_mask: int, mask_base: int) -> SbiRet:
+        targets = self._ipi_targets(hart_mask, mask_base)
+        if targets is None:
+            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
+        hart.charge(self.costs.fastpath_ipi)
+        self._deliver_ipi(hart, targets)
         return SbiRet.success()
 
     def _sbi_rfence(self, hart, call: SbiCall) -> SbiRet:
+        # Reuses the IPI delivery machinery but charges the rfence class
+        # cost only — delivery MMIO is still paid per remote target.
+        targets = self._ipi_targets(call.arg(0), call.arg(1))
+        if targets is None:
+            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
         hart.charge(self.costs.fastpath_rfence + hart.cycle_model.memory_fence)
-        return self._sbi_send_ipi(hart, call.arg(0), call.arg(1))
+        self._deliver_ipi(hart, targets)
+        return SbiRet.success()
 
     # -- misaligned accesses -------------------------------------------------
 

@@ -90,56 +90,54 @@ class VirtualClint:
         self._write(offset, size, value, hart.hartid)
         return None
 
-    def _read(self, offset: int, size: int) -> int:
+    def _locate(self, offset: int, size: int) -> tuple[str, int, int]:
+        """Map an access onto one register: (kind, hartid, byte offset).
+
+        ``mtime``/``mtimecmp`` are byte-granular (as on the physical
+        device); ``msip`` keeps its 32-bit-only access width.  Accesses
+        that straddle a register boundary or miss the map fault.
+        """
         num_harts = self.machine.config.num_harts
-        if offset == clint_regs.MTIME_OFFSET:
-            return self.machine.read_mtime() & ((1 << (size * 8)) - 1)
-        if offset == clint_regs.MTIME_OFFSET + 4 and size == 4:
-            return (self.machine.read_mtime() >> 32) & 0xFFFFFFFF
-        if (
+        if clint_regs.MTIME_OFFSET <= offset < clint_regs.MTIME_OFFSET + 8:
+            byte = offset - clint_regs.MTIME_OFFSET
+            if byte + size <= 8:
+                return "mtime", 0, byte
+        elif (
             clint_regs.MSIP_BASE <= offset < clint_regs.MSIP_BASE + 4 * num_harts
-            and size == 4
+            and size == 4 and offset % 4 == 0
         ):
-            return self.clint.msip[(offset - clint_regs.MSIP_BASE) // 4]
-        if (
+            return "msip", (offset - clint_regs.MSIP_BASE) // 4, 0
+        elif (
             clint_regs.MTIMECMP_BASE
             <= offset
             < clint_regs.MTIMECMP_BASE + 8 * num_harts
         ):
-            hartid = (offset - clint_regs.MTIMECMP_BASE) // 8
-            value = self.mtimecmp[hartid]
-            if size == 4:
-                if offset % 8 == 4:
-                    return (value >> 32) & 0xFFFFFFFF
-                return value & 0xFFFFFFFF
-            return value
-        raise ValueError(f"bad virtual CLINT read at offset {offset:#x}")
+            byte = (offset - clint_regs.MTIMECMP_BASE) % 8
+            if byte + size <= 8:
+                return "mtimecmp", (offset - clint_regs.MTIMECMP_BASE) // 8, byte
+        raise ValueError(
+            f"bad virtual CLINT access: {size}B at offset {offset:#x}"
+        )
+
+    def _read(self, offset: int, size: int) -> int:
+        kind, hartid, byte = self._locate(offset, size)
+        if kind == "mtime":
+            register = self.machine.read_mtime()
+        elif kind == "msip":
+            register = self.clint.msip[hartid]
+        else:
+            register = self.mtimecmp[hartid]
+        return (register >> (8 * byte)) & ((1 << (8 * size)) - 1)
 
     def _write(self, offset: int, size: int, value: int, from_hart: int) -> None:
-        num_harts = self.machine.config.num_harts
-        if offset == clint_regs.MTIME_OFFSET:
+        kind, hartid, byte = self._locate(offset, size)
+        if kind == "mtime":
             return  # writes to mtime ignored, as on the physical device
-        if (
-            clint_regs.MSIP_BASE <= offset < clint_regs.MSIP_BASE + 4 * num_harts
-            and size == 4
-        ):
+        if kind == "msip":
             # Pass-through: IPIs must physically reach the target hart.
             self.clint.write(offset, size, value)
             return
-        if (
-            clint_regs.MTIMECMP_BASE
-            <= offset
-            < clint_regs.MTIMECMP_BASE + 8 * num_harts
-        ):
-            hartid = (offset - clint_regs.MTIMECMP_BASE) // 8
-            old = self.mtimecmp[hartid]
-            if size == 8:
-                new = value
-            elif offset % 8 == 0:
-                new = (old & ~0xFFFFFFFF) | value
-            else:
-                new = (old & 0xFFFFFFFF) | (value << 32)
-            self.mtimecmp[hartid] = new & U64
-            self.program_physical_timer(hartid)
-            return
-        raise ValueError(f"bad virtual CLINT write at offset {offset:#x}")
+        mask = ((1 << (8 * size)) - 1) << (8 * byte)
+        merged = (self.mtimecmp[hartid] & ~mask) | ((value << (8 * byte)) & mask)
+        self.mtimecmp[hartid] = merged & U64
+        self.program_physical_timer(hartid)

@@ -117,6 +117,8 @@ class VirtContext:
             "virtual_mode": self.virtual_mode,
             "mstatus": self.mstatus,
             "misa": self.misa,
+            "mcycle": self.mcycle,
+            "minstret": self.minstret,
             "medeleg": self.medeleg,
             "mideleg": self.mideleg,
             "mie": self.mie,
@@ -145,14 +147,14 @@ class VirtContext:
         }
 
     def restore(self, snap: dict) -> None:
-        for key, value in snap.items():
-            setattr(
-                self,
-                key,
-                list(value) if isinstance(value, list)
-                else dict(value) if isinstance(value, dict)
-                else value,
-            )
+        # Snapshot keys are attribute names, so one C-level dict update
+        # restores every scalar; the four container fields are re-copied so
+        # the snapshot stays independent of subsequent mutation.
+        self.__dict__.update(snap)
+        self.pmpcfg = list(snap["pmpcfg"])
+        self.pmpaddr = list(snap["pmpaddr"])
+        self.vendor = dict(snap["vendor"])
+        self.h_csrs = dict(snap["h_csrs"])
 
     def __repr__(self) -> str:
         return (

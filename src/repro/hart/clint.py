@@ -54,55 +54,74 @@ class Clint:
         self._set_mtip = set_mtip
         self.msip = [0] * num_harts
         self.mtimecmp = [(1 << 64) - 1] * num_harts
+        # Last level pushed through ``set_mtip`` per hart.  mtip is a level
+        # (an idempotent CSR bit), so suppressing same-level callbacks is
+        # exact, not an approximation — unlike msip, whose rising edge also
+        # triggers remote-hart servicing and must never be filtered.
+        self._mtip_level: list[bool | None] = [None] * num_harts
 
     # -- device interface ----------------------------------------------
 
     def read(self, offset: int, size: int) -> int:
-        if offset == MTIME_OFFSET and size == 8:
-            return self.time_source()
-        if offset == MTIME_OFFSET + 4 and size == 4:
-            return (self.time_source() >> 32) & 0xFFFFFFFF
-        if offset == MTIME_OFFSET and size == 4:
-            return self.time_source() & 0xFFFFFFFF
-        hart, register_base = self._locate(offset, size)
-        if register_base == MSIP_BASE:
-            return self.msip[hart]
-        return self.mtimecmp[hart]
+        register_base, hart, byte = self._locate(offset, size)
+        if register_base == MTIME_OFFSET:
+            register = self.time_source()
+        elif register_base == MSIP_BASE:
+            register = self.msip[hart]
+        else:
+            register = self.mtimecmp[hart]
+        return (register >> (8 * byte)) & ((1 << (8 * size)) - 1)
 
     def write(self, offset: int, size: int, value: int) -> None:
-        if offset == MTIME_OFFSET:
+        register_base, hart, byte = self._locate(offset, size)
+        if register_base == MTIME_OFFSET:
             # mtime is writable on real CLINTs; the simulated clock is
             # monotonic and owned by the machine, so writes are ignored.
             return
-        hart, register_base = self._locate(offset, size)
         if register_base == MSIP_BASE:
             self.msip[hart] = value & 1
             self._set_msip(hart, bool(value & 1))
             return
-        if size == 8:
-            self.mtimecmp[hart] = value
-        elif offset % 8 == 0:  # low word
-            self.mtimecmp[hart] = (self.mtimecmp[hart] & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
-        else:  # high word
-            self.mtimecmp[hart] = (self.mtimecmp[hart] & 0xFFFFFFFF) | ((value & 0xFFFFFFFF) << 32)
+        mask = ((1 << (8 * size)) - 1) << (8 * byte)
+        self.mtimecmp[hart] = (
+            (self.mtimecmp[hart] & ~mask) | ((value << (8 * byte)) & mask)
+        )
         self._update_mtip(hart)
 
     # -- timer logic ------------------------------------------------------
 
-    def _locate(self, offset: int, size: int) -> tuple[int, int]:
-        if MSIP_BASE <= offset < MSIP_BASE + 4 * self.num_harts and size == 4:
-            return (offset - MSIP_BASE) // 4, MSIP_BASE
-        if MTIMECMP_BASE <= offset < MTIMECMP_BASE + 8 * self.num_harts and size in (4, 8):
-            return (offset - MTIMECMP_BASE) // 8, MTIMECMP_BASE
+    def _locate(self, offset: int, size: int) -> tuple[int, int, int]:
+        """Map an access onto one register: (register base, hart, byte).
+
+        ``mtime``/``mtimecmp`` accept byte-granular accesses contained in
+        one register; ``msip`` is 32-bit only, as on SiFive hardware.
+        """
+        if MTIME_OFFSET <= offset < MTIME_OFFSET + 8:
+            byte = offset - MTIME_OFFSET
+            if byte + size <= 8:
+                return MTIME_OFFSET, 0, byte
+        elif (
+            MSIP_BASE <= offset < MSIP_BASE + 4 * self.num_harts
+            and size == 4 and offset % 4 == 0
+        ):
+            return MSIP_BASE, (offset - MSIP_BASE) // 4, 0
+        elif MTIMECMP_BASE <= offset < MTIMECMP_BASE + 8 * self.num_harts:
+            byte = (offset - MTIMECMP_BASE) % 8
+            if byte + size <= 8:
+                return MTIMECMP_BASE, (offset - MTIMECMP_BASE) // 8, byte
         raise BusError(f"bad CLINT access: {size}B at offset {offset:#x}")
 
-    def _update_mtip(self, hart: int) -> None:
-        self._set_mtip(hart, self.time_source() >= self.mtimecmp[hart])
+    def _update_mtip(self, hart: int, now: int | None = None) -> None:
+        level = (self.time_source() if now is None else now) >= self.mtimecmp[hart]
+        if level != self._mtip_level[hart]:
+            self._mtip_level[hart] = level
+            self._set_mtip(hart, level)
 
     def tick(self) -> None:
         """Re-evaluate all timer comparators (called when time advances)."""
+        now = self.time_source()
         for hart in range(self.num_harts):
-            self._update_mtip(hart)
+            self._update_mtip(hart, now)
 
     def next_timer_deadline(self) -> int:
         """Earliest mtimecmp across harts (used to fast-forward idle time)."""

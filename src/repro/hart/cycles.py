@@ -12,6 +12,7 @@ microarchitectural detail we do not model (see DESIGN.md).
 from __future__ import annotations
 
 import dataclasses
+from functools import lru_cache
 
 from repro.spec.platform import PlatformConfig
 
@@ -92,6 +93,27 @@ _MODELS = {
 def cycle_model_for(config: PlatformConfig) -> CycleModel:
     """The cycle model matching a platform (generic model as fallback)."""
     return _MODELS.get(config.name, GENERIC_CYCLES)
+
+
+@lru_cache(maxsize=None)
+def mnemonic_cost_table(model: CycleModel) -> dict[str, float]:
+    """Base execution cost per mnemonic for the ones with a surcharge.
+
+    Replaces the if/elif chain on the interpreter's hottest path with one
+    dict lookup; mnemonics absent from the table cost ``model.instruction``.
+    ``CycleModel`` is a frozen dataclass, so the table is a pure function of
+    the model and safe to share.  The per-term additions mirror the original
+    incremental ``cost += ...`` chain exactly, preserving float semantics.
+    """
+    table: dict[str, float] = {}
+    for mnemonic in ("csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"):
+        table[mnemonic] = model.instruction + model.csr_access
+    for mnemonic in ("mret", "sret"):
+        table[mnemonic] = model.instruction + model.xret
+    table["sfence.vma"] = model.instruction + model.tlb_flush
+    for mnemonic in ("fence", "fence.i"):
+        table[mnemonic] = model.instruction + model.memory_fence
+    return table
 
 
 # Timebase (mtime ticks per second).  Both boards expose a low-frequency

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.hart.cycles import mnemonic_cost_table
 from repro.isa import constants as c
 from repro.isa.instructions import Instruction
 from repro.spec.interrupts import pending_interrupt
@@ -25,6 +26,7 @@ class Hart:
             machine.config, hartid=hartid, time_source=machine.read_mtime
         )
         self.cycle_model = machine.cycle_model
+        self._cost_table = mnemonic_cost_table(machine.cycle_model)
         self.cycles = 0.0
         self.instret = 0
         #: When parked (idle in wfi), the pc handlers must return to so the
@@ -44,15 +46,9 @@ class Hart:
         """Execute one instruction via the reference spec and charge cycles."""
         model = self.cycle_model
         outcome = execute_instruction(self.state, instr, self.machine.spec_bus)
-        cost = model.instruction
-        if instr.is_csr_op:
-            cost += model.csr_access
-        elif instr.mnemonic in ("mret", "sret"):
-            cost += model.xret
-        elif instr.mnemonic == "sfence.vma":
-            cost += model.tlb_flush
-        elif instr.mnemonic in ("fence", "fence.i"):
-            cost += model.memory_fence
+        cost = self._cost_table.get(instr.mnemonic)
+        if cost is None:
+            cost = model.instruction
         if outcome.memory_access is not None:
             if self.machine.is_mmio(outcome.memory_access.address):
                 cost += model.mmio_access

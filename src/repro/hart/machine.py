@@ -8,6 +8,7 @@ xRETs, world switches) between them.
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from typing import Optional, Protocol, Union
 
 from repro.hart.clint import Clint
@@ -18,6 +19,8 @@ from repro.hart.plic import Plic
 from repro.hart.program import GuestProgram, MachineHalted, ProtocolError, Region
 from repro.hart.stats import TrapStats
 from repro.hart.uart import Uart
+from repro.isa.constants import IRQ_MEI, IRQ_MSI, IRQ_MTI
+from repro.perf import toggle as _toggle
 from repro.spec.platform import PlatformConfig
 
 
@@ -77,6 +80,11 @@ class Machine:
 
         self.harts = [Hart(self, hartid) for hartid in range(config.num_harts)]
         self._regions: list[tuple[Region, Owner]] = []
+        # Sorted-by-base view of ``_regions`` for bisect lookup.  Regions
+        # never overlap (enforced in ``register``), so sorting by base gives
+        # a total order and ``owner_of`` is a single bisect + bound check.
+        self._region_bases: list[int] = []
+        self._region_index: list[tuple[Region, Owner]] = []
         self._dispatches = 0
         self._service_depth = 0
         self._resume_stack: list[set[int]] = []
@@ -105,20 +113,14 @@ class Machine:
     # -- interrupt lines ---------------------------------------------------
 
     def _set_msip_line(self, hartid: int, level: bool) -> None:
-        from repro.isa.constants import IRQ_MSI
-
         self.harts[hartid].state.csr.set_interrupt_line(IRQ_MSI, level)
         if level:
             self._service_remote(hartid)
 
     def _set_mtip_line(self, hartid: int, level: bool) -> None:
-        from repro.isa.constants import IRQ_MTI
-
         self.harts[hartid].state.csr.set_interrupt_line(IRQ_MTI, level)
 
     def _set_eip_line(self, hartid: int, level: bool) -> None:
-        from repro.isa.constants import IRQ_MEI
-
         self.harts[hartid].state.csr.set_interrupt_line(IRQ_MEI, level)
 
     # -- region map --------------------------------------------------------
@@ -130,12 +132,27 @@ class Machine:
             if region.base < existing.end and existing.base < region.end:
                 raise ValueError(f"region {region} overlaps {existing}")
         self._regions.append((region, owner))
+        position = bisect_right(self._region_bases, region.base)
+        insort(self._region_bases, region.base)
+        self._region_index.insert(position, (region, owner))
 
     def owner_of(self, address: int) -> Optional[Owner]:
+        if _toggle.enabled:
+            position = bisect_right(self._region_bases, address) - 1
+            if position >= 0:
+                region, owner = self._region_index[position]
+                if address < region.end:
+                    return owner
+            return None
         for region, owner in self._regions:
             if region.contains(address):
                 return owner
         return None
+
+    @property
+    def dispatches(self) -> int:
+        """Total control transfers routed through :meth:`dispatch_current`."""
+        return self._dispatches
 
     def region_named(self, name: str) -> Region:
         for region, _ in self._regions:

@@ -10,10 +10,16 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from repro.perf import toggle as _toggle
 from repro.spec.step import BusError
 
 _PAGE_SHIFT = 12
 _PAGE_SIZE = 1 << _PAGE_SHIFT
+
+#: Sentinel so the device cache can remember "no device here" distinctly
+#: from a cold entry.
+_NO_DEVICE = object()
+_DEVICE_CACHE_CAP = 1 << 16
 
 
 class Device(Protocol):
@@ -76,6 +82,14 @@ class SystemBus:
     def __init__(self, ram: Ram):
         self.ram = ram
         self._devices: list[Device] = []
+        # Per-address memo of ``device_at`` results.  Keyed per bus instance
+        # (not module-wide) so two machines never share lookups; validated
+        # against the global cache generation so ``perf.clear_caches`` works
+        # without the toggle module pinning dead bus instances alive.
+        self._device_cache: dict[int, object] = {}
+        self._device_cache_gen = _toggle.generation
+        self.device_lookup_hits = 0
+        self.device_lookup_misses = 0
 
     def attach(self, device: Device) -> None:
         for existing in self._devices:
@@ -84,8 +98,26 @@ class SystemBus:
                     f"device at {device.base:#x} overlaps device at {existing.base:#x}"
                 )
         self._devices.append(device)
+        self._device_cache.clear()
 
     def device_at(self, address: int) -> Device | None:
+        if not _toggle.enabled:
+            return self._device_at_uncached(address)
+        cache = self._device_cache
+        if self._device_cache_gen != _toggle.generation:
+            cache.clear()
+            self._device_cache_gen = _toggle.generation
+        found = cache.get(address)
+        if found is not None:
+            self.device_lookup_hits += 1
+            return None if found is _NO_DEVICE else found  # type: ignore[return-value]
+        self.device_lookup_misses += 1
+        device = self._device_at_uncached(address)
+        if len(cache) < _DEVICE_CACHE_CAP:
+            cache[address] = _NO_DEVICE if device is None else device
+        return device
+
+    def _device_at_uncached(self, address: int) -> Device | None:
         for device in self._devices:
             if device.base <= address < device.base + device.size:
                 return device

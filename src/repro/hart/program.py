@@ -25,7 +25,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Optional
 
 from repro.isa import constants as c
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import Instruction, make_instruction
 
 if TYPE_CHECKING:
     from repro.hart.hart import Hart
@@ -261,29 +261,29 @@ class GuestContext:
 
     def csrrw(self, csr: int, value: int) -> int:
         self.set_reg(self._SCRATCH_A, value)
-        self.exec(Instruction("csrrw", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
+        self.exec(make_instruction("csrrw", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
         return self.get_reg(self._SCRATCH_C)
 
     def csrr(self, csr: int) -> int:
-        self.exec(Instruction("csrrs", rd=self._SCRATCH_C, rs1=0, csr=csr))
+        self.exec(make_instruction("csrrs", rd=self._SCRATCH_C, rs1=0, csr=csr))
         return self.get_reg(self._SCRATCH_C)
 
     def csrw(self, csr: int, value: int) -> None:
         self.set_reg(self._SCRATCH_A, value)
-        self.exec(Instruction("csrrw", rd=0, rs1=self._SCRATCH_A, csr=csr))
+        self.exec(make_instruction("csrrw", rd=0, rs1=self._SCRATCH_A, csr=csr))
 
     def csrs(self, csr: int, mask: int) -> int:
         self.set_reg(self._SCRATCH_A, mask)
-        self.exec(Instruction("csrrs", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
+        self.exec(make_instruction("csrrs", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
         return self.get_reg(self._SCRATCH_C)
 
     def csrc(self, csr: int, mask: int) -> int:
         self.set_reg(self._SCRATCH_A, mask)
-        self.exec(Instruction("csrrc", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
+        self.exec(make_instruction("csrrc", rd=self._SCRATCH_C, rs1=self._SCRATCH_A, csr=csr))
         return self.get_reg(self._SCRATCH_C)
 
     def csrrwi(self, csr: int, zimm: int) -> int:
-        self.exec(Instruction("csrrwi", rd=self._SCRATCH_C, rs1=zimm, csr=csr))
+        self.exec(make_instruction("csrrwi", rd=self._SCRATCH_C, rs1=zimm, csr=csr))
         return self.get_reg(self._SCRATCH_C)
 
     # -- memory --------------------------------------------------------
@@ -295,14 +295,14 @@ class GuestContext:
     def load(self, address: int, size: int = 8, signed: bool = False) -> int:
         table = self._SIGNED_LOAD_FOR_SIZE if signed else self._LOAD_FOR_SIZE
         self.set_reg(self._SCRATCH_A, address)
-        self.exec(Instruction(table[size], rd=self._SCRATCH_C, rs1=self._SCRATCH_A))
+        self.exec(make_instruction(table[size], rd=self._SCRATCH_C, rs1=self._SCRATCH_A))
         return self.get_reg(self._SCRATCH_C)
 
     def store(self, address: int, value: int, size: int = 8) -> None:
         self.set_reg(self._SCRATCH_A, address)
         self.set_reg(self._SCRATCH_B, value)
         self.exec(
-            Instruction(self._STORE_FOR_SIZE[size], rs1=self._SCRATCH_A, rs2=self._SCRATCH_B)
+            make_instruction(self._STORE_FOR_SIZE[size], rs1=self._SCRATCH_A, rs2=self._SCRATCH_B)
         )
 
     # -- system instructions ------------------------------------------
@@ -321,16 +321,16 @@ class GuestContext:
             self.set_reg(16, a6)
         if a7 is not None:
             self.set_reg(17, a7)
-        self.exec(Instruction("ecall"))
+        self.exec(make_instruction("ecall"))
         return self.get_reg(10), self.get_reg(11)
 
     def mret(self) -> None:
         self._restore_trap_frame()
-        self.exec(Instruction("mret"))
+        self.exec(make_instruction("mret"))
 
     def sret(self) -> None:
         self._restore_trap_frame()
-        self.exec(Instruction("sret"))
+        self.exec(make_instruction("sret"))
 
     def wfi(self) -> None:
         """Wait for interrupt: stalls simulated time until one is pending.
@@ -340,7 +340,7 @@ class GuestContext:
         real hardware where execution vectors straight from the stalled
         wfi into the trap handler.
         """
-        self.exec(Instruction("wfi"))
+        self.exec(make_instruction("wfi"))
         if self.hart.state.waiting_for_interrupt:
             self.machine.advance_until_interrupt(self.hart)
             resume_pc = self.hart.state.pc
@@ -348,13 +348,13 @@ class GuestContext:
                 self.machine.run_until(self.hart, {resume_pc})
 
     def fence(self) -> None:
-        self.exec(Instruction("fence"))
+        self.exec(make_instruction("fence"))
 
     def fence_i(self) -> None:
-        self.exec(Instruction("fence.i"))
+        self.exec(make_instruction("fence.i"))
 
     def sfence_vma(self) -> None:
-        self.exec(Instruction("sfence.vma"))
+        self.exec(make_instruction("sfence.vma"))
 
     # -- modelling helpers ----------------------------------------------
 

@@ -63,12 +63,26 @@ class TrapStats:
         return event
 
     def annotate_last(self, handler: str, detail: str = "") -> None:
-        """Record which subsystem handled the most recent trap."""
+        """Record which subsystem handled the most recent trap.
+
+        Each trap is counted under exactly one handler: re-annotating (a
+        trap escalated from one subsystem to another, e.g. a fast-path
+        miss turning into a world switch) moves the count to the final
+        handler.  Without a recorded trap this is a no-op, keeping
+        ``sum(handler_counts.values()) <= total_traps`` invariant.
+        """
+        event = self._last
+        if event is None:
+            return
+        if event.handler != "unclassified":
+            previous = event.handler
+            self.handler_counts[previous] -= 1
+            if self.handler_counts[previous] <= 0:
+                del self.handler_counts[previous]
         self.handler_counts[handler] += 1
-        if self._last is not None:
-            self._last.handler = handler
-            if detail:
-                self._last.detail = detail
+        event.handler = handler
+        if detail:
+            event.detail = detail
 
     def note_world_switch(self) -> None:
         self.world_switches += 1
@@ -81,16 +95,19 @@ class TrapStats:
 
     # -- analysis helpers ------------------------------------------------
 
-    def events_by_window(self, window_mtime: int) -> list[Counter]:
-        """Bucket event causes into fixed-duration windows (Figure 3)."""
-        if not self.events:
-            return []
-        end = max(event.mtime for event in self.events)
-        buckets = [Counter() for _ in range(end // window_mtime + 1)]
+    def events_by_window(self, window_mtime: int) -> dict[int, Counter]:
+        """Bucket event causes into fixed-duration windows (Figure 3).
+
+        Returns a sparse mapping from window index (``mtime //
+        window_mtime``) to a Counter of cause names; windows with no
+        events are absent.  A dense list would allocate one bucket per
+        elapsed window, which for a small window on a long run means
+        millions of empty Counters.
+        """
+        buckets: dict[int, Counter] = {}
         for event in self.events:
-            buckets[event.mtime // window_mtime][
-                cause_name(event.cause, event.is_interrupt)
-            ] += 1
+            bucket = buckets.setdefault(event.mtime // window_mtime, Counter())
+            bucket[cause_name(event.cause, event.is_interrupt)] += 1
         return buckets
 
     def detail_counts(self) -> Counter:

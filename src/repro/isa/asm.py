@@ -20,7 +20,7 @@ import dataclasses
 import struct
 
 from repro.isa.encoding import encode
-from repro.isa.instructions import REGISTER_NUMBERS, Instruction
+from repro.isa.instructions import REGISTER_NUMBERS, Instruction, make_instruction
 
 
 def reg(name_or_number: str | int) -> int:
@@ -88,7 +88,7 @@ class Assembler:
                 raise ValueError(f"undefined label {item.label!r}")
             offset = 4 * (self._labels[item.label] - index)
             resolved.append(
-                Instruction(
+                make_instruction(
                     item.mnemonic,
                     rd=item.rd,
                     rs1=item.rs1,
@@ -110,10 +110,10 @@ class Assembler:
     # -- instruction helpers -------------------------------------------
 
     def _rrr(self, mnemonic, rd, rs1, rs2):
-        return self.emit(Instruction(mnemonic, rd=reg(rd), rs1=reg(rs1), rs2=reg(rs2)))
+        return self.emit(make_instruction(mnemonic, rd=reg(rd), rs1=reg(rs1), rs2=reg(rs2)))
 
     def _rri(self, mnemonic, rd, rs1, imm):
-        return self.emit(Instruction(mnemonic, rd=reg(rd), rs1=reg(rs1), imm=imm))
+        return self.emit(make_instruction(mnemonic, rd=reg(rd), rs1=reg(rs1), imm=imm))
 
     def _branch(self, mnemonic, rs1, rs2, target):
         if isinstance(target, str):
@@ -121,7 +121,7 @@ class Assembler:
                 _PendingInstruction(mnemonic, 0, reg(rs1), reg(rs2), target)
             )
             return self
-        return self.emit(Instruction(mnemonic, rs1=reg(rs1), rs2=reg(rs2), imm=target))
+        return self.emit(make_instruction(mnemonic, rs1=reg(rs1), rs2=reg(rs2), imm=target))
 
     # R-type / I-type arithmetic
     def add(self, rd, rs1, rs2): return self._rrr("add", rd, rs1, rs2)
@@ -154,14 +154,14 @@ class Assembler:
     def srai(self, rd, rs1, shamt): return self._rri("srai", rd, rs1, shamt)
 
     # Upper immediates and jumps
-    def lui(self, rd, imm): return self.emit(Instruction("lui", rd=reg(rd), imm=imm))
-    def auipc(self, rd, imm): return self.emit(Instruction("auipc", rd=reg(rd), imm=imm))
+    def lui(self, rd, imm): return self.emit(make_instruction("lui", rd=reg(rd), imm=imm))
+    def auipc(self, rd, imm): return self.emit(make_instruction("auipc", rd=reg(rd), imm=imm))
 
     def jal(self, rd, target):
         if isinstance(target, str):
             self._items.append(_PendingInstruction("jal", reg(rd), 0, 0, target))
             return self
-        return self.emit(Instruction("jal", rd=reg(rd), imm=target))
+        return self.emit(make_instruction("jal", rd=reg(rd), imm=target))
 
     def jalr(self, rd, rs1, imm=0): return self._rri("jalr", rd, rs1, imm)
 
@@ -183,47 +183,47 @@ class Assembler:
     def lwu(self, rd, rs1, imm=0): return self._rri("lwu", rd, rs1, imm)
 
     def sb(self, rs2, rs1, imm=0):
-        return self.emit(Instruction("sb", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
+        return self.emit(make_instruction("sb", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
 
     def sh(self, rs2, rs1, imm=0):
-        return self.emit(Instruction("sh", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
+        return self.emit(make_instruction("sh", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
 
     def sw(self, rs2, rs1, imm=0):
-        return self.emit(Instruction("sw", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
+        return self.emit(make_instruction("sw", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
 
     def sd(self, rs2, rs1, imm=0):
-        return self.emit(Instruction("sd", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
+        return self.emit(make_instruction("sd", rs1=reg(rs1), rs2=reg(rs2), imm=imm))
 
     # System instructions
-    def ecall(self): return self.emit(Instruction("ecall"))
-    def ebreak(self): return self.emit(Instruction("ebreak"))
-    def mret(self): return self.emit(Instruction("mret"))
-    def sret(self): return self.emit(Instruction("sret"))
-    def wfi(self): return self.emit(Instruction("wfi"))
-    def fence(self): return self.emit(Instruction("fence"))
-    def fence_i(self): return self.emit(Instruction("fence.i"))
+    def ecall(self): return self.emit(make_instruction("ecall"))
+    def ebreak(self): return self.emit(make_instruction("ebreak"))
+    def mret(self): return self.emit(make_instruction("mret"))
+    def sret(self): return self.emit(make_instruction("sret"))
+    def wfi(self): return self.emit(make_instruction("wfi"))
+    def fence(self): return self.emit(make_instruction("fence"))
+    def fence_i(self): return self.emit(make_instruction("fence.i"))
 
     def sfence_vma(self, rs1="zero", rs2="zero"):
-        return self.emit(Instruction("sfence.vma", rs1=reg(rs1), rs2=reg(rs2)))
+        return self.emit(make_instruction("sfence.vma", rs1=reg(rs1), rs2=reg(rs2)))
 
     # CSR instructions
     def csrrw(self, rd, csr, rs1):
-        return self.emit(Instruction("csrrw", rd=reg(rd), rs1=reg(rs1), csr=csr))
+        return self.emit(make_instruction("csrrw", rd=reg(rd), rs1=reg(rs1), csr=csr))
 
     def csrrs(self, rd, csr, rs1):
-        return self.emit(Instruction("csrrs", rd=reg(rd), rs1=reg(rs1), csr=csr))
+        return self.emit(make_instruction("csrrs", rd=reg(rd), rs1=reg(rs1), csr=csr))
 
     def csrrc(self, rd, csr, rs1):
-        return self.emit(Instruction("csrrc", rd=reg(rd), rs1=reg(rs1), csr=csr))
+        return self.emit(make_instruction("csrrc", rd=reg(rd), rs1=reg(rs1), csr=csr))
 
     def csrrwi(self, rd, csr, zimm):
-        return self.emit(Instruction("csrrwi", rd=reg(rd), rs1=zimm, csr=csr))
+        return self.emit(make_instruction("csrrwi", rd=reg(rd), rs1=zimm, csr=csr))
 
     def csrrsi(self, rd, csr, zimm):
-        return self.emit(Instruction("csrrsi", rd=reg(rd), rs1=zimm, csr=csr))
+        return self.emit(make_instruction("csrrsi", rd=reg(rd), rs1=zimm, csr=csr))
 
     def csrrci(self, rd, csr, zimm):
-        return self.emit(Instruction("csrrci", rd=reg(rd), rs1=zimm, csr=csr))
+        return self.emit(make_instruction("csrrci", rd=reg(rd), rs1=zimm, csr=csr))
 
     # Pseudo-instructions
     def nop(self): return self.addi("zero", "zero", 0)

@@ -12,7 +12,11 @@ encoder over the full mnemonic space and against structured random words.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.isa.bits import bits, to_signed
+from repro.perf import register_cache, register_stats_provider
+from repro.perf import toggle as _toggle
 from repro.isa.encoding import (
     FUNCT3_TO_BRANCH,
     FUNCT3_TO_CSR,
@@ -122,14 +126,7 @@ def _decode_op_imm_32(word: int, rd: int, rs1: int, funct3: int) -> Instruction:
     raise IllegalInstructionError(word, "unknown OP-IMM-32 funct3")
 
 
-def decode(word: int) -> Instruction:
-    """Decode a 32-bit instruction word.
-
-    Raises :class:`IllegalInstructionError` for unsupported or malformed
-    encodings; the spec and the emulator both surface this as an
-    illegal-instruction exception to the executing hart.
-    """
-    word &= 0xFFFFFFFF
+def _decode_word(word: int) -> Instruction:
     if word & 0x3 != 0x3:
         raise IllegalInstructionError(word, "compressed encodings unsupported")
 
@@ -189,3 +186,26 @@ def decode(word: int) -> Instruction:
     if opcode == OPCODE_SYSTEM:
         return _decode_system(word, rd, rs1, rs2, funct3)
     raise IllegalInstructionError(word, f"unknown opcode {opcode:#x}")
+
+
+# Decoding is a pure function of the word and Instruction is immutable, so
+# memoizing is safe; illegal words are not cached (lru_cache does not cache
+# raised exceptions), which keeps error paths exact.
+_decode_cached = lru_cache(maxsize=1 << 16)(_decode_word)
+register_cache(_decode_cached.cache_clear)
+register_stats_provider(
+    "isa.decode", lambda: _decode_cached.cache_info()._asdict()
+)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`IllegalInstructionError` for unsupported or malformed
+    encodings; the spec and the emulator both surface this as an
+    illegal-instruction exception to the executing hart.
+    """
+    word &= 0xFFFFFFFF
+    if _toggle.enabled:
+        return _decode_cached(word)
+    return _decode_word(word)

@@ -10,6 +10,7 @@ emulator in the paper operate on decoded instructions.
 from __future__ import annotations
 
 import dataclasses
+from functools import cached_property, lru_cache
 
 # Register ABI names, indexed by register number.
 ABI_NAMES = (
@@ -64,20 +65,26 @@ class Instruction:
     imm: int = 0
     csr: int = 0
 
-    @property
+    # Classification predicates are cached per instance: instructions are
+    # immutable and the interpreter's hot loop queries them on every
+    # executed instruction.  ``cached_property`` writes straight into the
+    # instance ``__dict__``, which bypasses the frozen-dataclass setattr
+    # guard without weakening it for the declared fields.
+
+    @cached_property
     def is_privileged(self) -> bool:
         """Whether this instruction is privileged (traps from vM-mode)."""
         return self.mnemonic in PRIVILEGED_MNEMONICS
 
-    @property
+    @cached_property
     def is_csr_op(self) -> bool:
         return self.mnemonic in CSR_MNEMONICS
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.mnemonic in LOAD_MNEMONICS
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.mnemonic in STORE_MNEMONICS
 
@@ -90,7 +97,7 @@ class Instruction:
             return STORE_SIZES[self.mnemonic]
         raise ValueError(f"{self.mnemonic} is not a memory access")
 
-    @property
+    @cached_property
     def csr_uses_immediate(self) -> bool:
         """Whether a CSR instruction takes a 5-bit immediate (csrr?i forms)."""
         return self.mnemonic in ("csrrwi", "csrrsi", "csrrci")
@@ -109,6 +116,21 @@ class Instruction:
         )
 
 
+@lru_cache(maxsize=1 << 16)
+def make_instruction(
+    mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+    imm: int = 0, csr: int = 0,
+) -> Instruction:
+    """Interning constructor used by the assembler and program builders.
+
+    Instructions are immutable value objects, so repeated builds of the
+    same operands can share one instance (and its cached classification
+    properties).  Purely ISA-level: no machine or virtualized state is
+    ever reachable from an interned instruction.
+    """
+    return Instruction(mnemonic, rd, rs1, rs2, imm, csr)
+
+
 class IllegalInstructionError(Exception):
     """Raised when a 32-bit word does not decode to a supported instruction."""
 
@@ -116,3 +138,12 @@ class IllegalInstructionError(Exception):
         self.word = word
         self.reason = reason
         super().__init__(f"illegal instruction {word:#010x}: {reason}")
+
+
+# Registered at the bottom so the module's public names exist first.
+from repro.perf import register_cache, register_stats_provider  # noqa: E402
+
+register_cache(make_instruction.cache_clear)
+register_stats_provider(
+    "isa.intern", lambda: make_instruction.cache_info()._asdict()
+)

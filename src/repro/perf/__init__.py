@@ -1,0 +1,43 @@
+"""Hot-path observability: cache toggle, counters, and meters.
+
+The interpreter's hot loop (fetch, decode, dispatch, cost accounting)
+is accelerated by a set of caches spread across ``repro.isa`` and
+``repro.hart``.  This package is the single point of control for them:
+
+* a global enable/disable switch (``set_caches_enabled``), used by the
+  differential tests to prove the caches never change architectural
+  behavior;
+* hit/miss statistics aggregation (``cache_stats``) — each caching
+  module registers a provider instead of this module importing them,
+  keeping ``repro.perf`` dependency-free;
+* a steps/sec meter (``StepMeter``) and the ``--profile`` report
+  formatter used by the CLI and ``benchmarks/test_hotpath_speed.py``.
+"""
+
+from repro.perf.counters import (
+    StepMeter,
+    cache_stats,
+    profile_report,
+    register_stats_provider,
+)
+from repro.perf.toggle import (
+    cache_generation,
+    caches_disabled,
+    caches_enabled,
+    clear_caches,
+    register_cache,
+    set_caches_enabled,
+)
+
+__all__ = [
+    "StepMeter",
+    "cache_generation",
+    "cache_stats",
+    "caches_disabled",
+    "caches_enabled",
+    "clear_caches",
+    "profile_report",
+    "register_cache",
+    "register_stats_provider",
+    "set_caches_enabled",
+]

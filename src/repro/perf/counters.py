@@ -1,0 +1,105 @@
+"""Cache statistics aggregation, the steps/sec meter, and the profile report."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+_providers: dict[str, Callable[[], dict]] = {}
+
+
+def register_stats_provider(name: str, provider: Callable[[], dict]) -> None:
+    """Register a named statistics source (e.g. ``isa.decode``).
+
+    Providers return a flat dict of counters — for ``functools.lru_cache``
+    wrappers, ``cache_info()._asdict()`` works directly.
+    """
+    _providers[name] = provider
+
+
+def cache_stats() -> dict[str, dict]:
+    """Snapshot of every registered cache's counters."""
+    return {name: dict(provider()) for name, provider in sorted(_providers.items())}
+
+
+class StepMeter:
+    """Wall-clock meter for interpreter throughput (steps/sec).
+
+    A *step* is one retired guest instruction; callers add the executed
+    count after the measured region (e.g. from ``hart.instret``).
+    """
+
+    def __init__(self):
+        self.steps = 0
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "StepMeter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._started is not None:
+            self.elapsed += time.perf_counter() - self._started
+            self._started = None
+
+    def add_steps(self, count: int) -> None:
+        self.steps += count
+
+    @property
+    def steps_per_second(self) -> float:
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.steps / self.elapsed
+
+
+def _hit_rate(stats: dict) -> Optional[float]:
+    hits, misses = stats.get("hits"), stats.get("misses")
+    if hits is None or misses is None or hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def profile_report(machine, meter: Optional[StepMeter] = None) -> str:
+    """Human-readable hot-path breakdown for ``--profile``.
+
+    ``machine`` is duck-typed (needs ``harts``, ``stats``, ``dispatches``,
+    ``cycles``) so this module stays import-free of the simulator.
+    """
+    instructions = sum(hart.instret for hart in machine.harts)
+    stats = machine.stats
+    lines = [
+        "-- hot-path profile " + "-" * 40,
+        f"guest instructions:   {instructions}",
+        f"dispatches:           {machine.dispatches}",
+        f"traps to M-mode:      {stats.total_traps}",
+        f"world switches:       {stats.world_switches}",
+        f"fast-path hits:       {stats.fastpath_hits}",
+        f"simulated cycles:     {machine.cycles:.0f}",
+    ]
+    if meter is not None and meter.elapsed > 0:
+        lines.append(f"wall seconds:         {meter.elapsed:.3f}")
+        lines.append(f"steps/sec:            {meter.steps_per_second:,.0f}")
+    lines.append("-- caches " + "-" * 50)
+    bus = getattr(machine, "spec_bus", None)
+    if bus is not None and hasattr(bus, "device_lookup_hits"):
+        bus_stats = {
+            "hits": bus.device_lookup_hits,
+            "misses": bus.device_lookup_misses,
+        }
+        rate = _hit_rate(bus_stats)
+        rate_text = f"{rate * 100:5.1f}% hit" if rate is not None else "     -    "
+        detail = " ".join(f"{k}={v}" for k, v in bus_stats.items())
+        lines.append(f"{'bus.devices':<22}{rate_text}  ({detail})")
+    for name, stats_dict in cache_stats().items():
+        rate = _hit_rate(stats_dict)
+        rate_text = f"{rate * 100:5.1f}% hit" if rate is not None else "     -    "
+        detail = " ".join(f"{k}={v}" for k, v in stats_dict.items())
+        lines.append(f"{name:<22}{rate_text}  ({detail})")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Global switch for the hot-path caches.
+
+Caching modules either register a clear hook (module-lifetime caches,
+e.g. the decode LRU) or compare :data:`generation` against a stored
+value (per-instance caches, e.g. the bus device-lookup map) so stale
+entries are dropped whenever the switch flips.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+#: Whether the hot-path caches are consulted.  Module-level so hot code
+#: can read it with one attribute lookup.
+enabled = True
+
+#: Bumped every time the caches are cleared; per-instance caches compare
+#: it against their stored value instead of registering a hook (which
+#: would pin every instance ever created).
+generation = 0
+
+_clear_hooks: list[Callable[[], None]] = []
+
+
+def register_cache(clear: Callable[[], None]) -> Callable[[], None]:
+    """Register a module-lifetime cache's clear function; returns it."""
+    _clear_hooks.append(clear)
+    return clear
+
+
+def caches_enabled() -> bool:
+    return enabled
+
+
+def cache_generation() -> int:
+    return generation
+
+
+def clear_caches() -> None:
+    """Drop all cached hot-path state (module caches and instance caches)."""
+    global generation
+    generation += 1
+    for clear in _clear_hooks:
+        clear()
+
+
+def set_caches_enabled(value: bool) -> None:
+    global enabled
+    enabled = bool(value)
+    clear_caches()
+
+
+@contextmanager
+def caches_disabled():
+    """Run a block with every hot-path cache bypassed (and flushed)."""
+    previous = enabled
+    set_caches_enabled(False)
+    try:
+        yield
+    finally:
+        set_caches_enabled(previous)

@@ -14,6 +14,7 @@ both virtual and physical PMP register files through this same check.
 from __future__ import annotations
 
 import dataclasses
+from functools import lru_cache
 
 from repro.isa.bits import get_field, napot_range
 from repro.isa.constants import (
@@ -27,6 +28,19 @@ from repro.isa.constants import (
     PmpAddressMode,
     PrivilegeLevel,
 )
+
+# NAPOT decoding is a pure function of the address register; firmware
+# reprograms PMP with a handful of distinct values, so a small cache
+# removes the per-check bit scan.  Always on: nothing machine-specific
+# is keyed or stored.
+_napot_range_cached = lru_cache(maxsize=4096)(napot_range)
+
+# Integer views of the PmpAddressMode enum and the A-field shift, so the
+# hot check below can avoid enum construction per entry per access.
+_PMP_A_SHIFT = (PMP_A_MASK & -PMP_A_MASK).bit_length() - 1
+_MODE_OFF = int(PmpAddressMode.OFF)
+_MODE_TOR = int(PmpAddressMode.TOR)
+_MODE_NA4 = int(PmpAddressMode.NA4)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,19 +122,32 @@ def pmp_check(
     """
     count = pmp_count if pmp_count is not None else len(pmpcfg)
     access_start, access_end = address, address + size
+    # Inlined PmpEntry.byte_range: this loop runs per-entry on every memory
+    # access, so entry/enum object construction is kept off it.  An empty
+    # TOR range (end <= start) covers no bytes and can never overlap, which
+    # is the same skip the (0, 0) range produced.
     for index in range(count):
-        previous = pmpaddr[index - 1] if index > 0 else 0
-        covered = PmpEntry(pmpcfg[index], pmpaddr[index]).byte_range(previous)
-        if covered is None:
+        cfg = pmpcfg[index]
+        entry_mode = (cfg & PMP_A_MASK) >> _PMP_A_SHIFT
+        if entry_mode == _MODE_OFF:
             continue
-        start, end = covered
+        if entry_mode == _MODE_TOR:
+            start = (pmpaddr[index - 1] << 2) if index > 0 else 0
+            end = pmpaddr[index] << 2
+            if end <= start:
+                continue
+        elif entry_mode == _MODE_NA4:
+            start = pmpaddr[index] << 2
+            end = start + 4
+        else:
+            base, napot_size = _napot_range_cached(pmpaddr[index])
+            start = base
+            end = base + napot_size
         if access_end <= start or access_start >= end:
             continue  # no overlap
         if not (start <= access_start and access_end <= end):
             return MatchResult(False, index)  # partial match always fails
-        return MatchResult(
-            entry_permits(pmpcfg[index], access, mode), index
-        )
+        return MatchResult(entry_permits(cfg, access, mode), index)
     if mode == M_MODE or count == 0:
         return MatchResult(True, None)
     return MatchResult(False, None)

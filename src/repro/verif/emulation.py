@@ -26,6 +26,7 @@ from repro.core.emulator import (
 from repro.core.vcpu import VirtContext
 from repro.isa import constants as c
 from repro.isa.instructions import Instruction
+from repro.spec.csrs import csr_reader
 from repro.spec.state import MachineState
 from repro.spec.step import execute_instruction
 from repro.verif.report import CheckReport, Divergence
@@ -53,6 +54,11 @@ _COMPARED_CSRS = (
     ("satp", "satp", c.CSR_SATP),
     ("scounteren", "scounteren", c.CSR_SCOUNTEREN),
     ("senvcfg", "senvcfg", c.CSR_SENVCFG),
+)
+
+# Dispatch hoisted out of the per-check comparison loop.
+_COMPARED_CSR_READERS = tuple(
+    (label, attr, csr_reader(csr)) for label, attr, csr in _COMPARED_CSRS
 )
 
 
@@ -187,31 +193,44 @@ def vfm_step(vctx: VirtContext, instr: Instruction, pc: int, mtime: int,
 
 def compare_states(vctx: VirtContext, spec_state: MachineState,
                    gprs: list[int], vfm_pc: int, check: str,
-                   context: str) -> list[Divergence]:
-    """All-fields comparison (the ≃ of Definition 1)."""
+                   context) -> list[Divergence]:
+    """All-fields comparison (the ≃ of Definition 1).
+
+    ``context`` may be a string or a zero-argument callable; callables are
+    resolved only when a divergence is actually recorded, so the checker's
+    no-divergence common case never pays for context formatting.
+    """
     divergences: list[Divergence] = []
+    resolved: Optional[str] = None
 
     def diff(field: str, expected, actual) -> None:
+        nonlocal resolved
         if expected != actual:
-            divergences.append(Divergence(check, field, expected, actual, context))
+            if resolved is None:
+                resolved = context() if callable(context) else context
+            divergences.append(Divergence(check, field, expected, actual, resolved))
 
+    csr_file = spec_state.csr
     diff("pc", spec_state.pc, vfm_pc)
     diff("mode", spec_state.mode, vctx.virtual_mode)
-    for label, attr, csr in _COMPARED_CSRS:
-        diff(label, spec_state.csr.read(csr), getattr(vctx, attr))
-    diff("mip", spec_state.csr.mip, vctx.mip & c.MIP_MASK)
+    for label, attr, reader in _COMPARED_CSR_READERS:
+        diff(label, reader(csr_file), getattr(vctx, attr))
+    diff("mip", csr_file.mip, vctx.mip & c.MIP_MASK)
     # Compare the full architectural register file, not just the
     # implemented entries: writes beyond the virtual count must be ignored
     # by both models (the §6.5 out-of-range vPMP bug lives there).
-    diff("pmpcfg", spec_state.csr.pmpcfg, vctx.pmpcfg)
-    diff("pmpaddr", spec_state.csr.pmpaddr, vctx.pmpaddr)
+    diff("pmpcfg", csr_file.pmpcfg, vctx.pmpcfg)
+    diff("pmpaddr", csr_file.pmpaddr, vctx.pmpaddr)
     if spec_state.config.has_sstc:
-        diff("stimecmp", spec_state.csr.stimecmp, vctx.stimecmp)
+        diff("stimecmp", csr_file.stimecmp, vctx.stimecmp)
     for csr in spec_state.config.vendor_csrs:
-        diff(f"vendor:{csr:#x}", spec_state.csr.read(csr), vctx.vendor[csr])
+        diff(f"vendor:{csr:#x}", csr_file.read(csr), vctx.vendor[csr])
+    # One list comparison decides the common all-equal case before any
+    # per-register diff labels are built.
     spec_gprs = spec_state.xregs
-    for index in range(32):
-        diff(f"x{index}", spec_gprs[index], gprs[index])
+    if spec_gprs != gprs:
+        for index in range(32):
+            diff(f"x{index}", spec_gprs[index], gprs[index])
     return divergences
 
 
@@ -226,21 +245,44 @@ def check_instruction(platform, description: StateDescription,
     execute_instruction(spec_state, instr)
     return compare_states(
         vctx, spec_state, gprs, vfm_pc, check,
-        context=f"instr={instr} pc={description.pc:#x}",
+        context=lambda: f"instr={instr} pc={description.pc:#x}",
     )
 
 
 def run_emulation_check(platform, descriptions: Iterable[StateDescription],
                         instructions: Iterable[Instruction],
                         task: str) -> CheckReport:
-    """Cross-product check: every description x every instruction."""
+    """Cross-product check: every description x every instruction.
+
+    Each description's two model states are instantiated once and rolled
+    back via snapshot/restore between instructions: instantiation funnels
+    every CSR through the architectural write path (WARL legalization),
+    which dominated the checker's runtime when repeated per instruction.
+    """
     report = CheckReport(task=task)
     start = time.perf_counter()
     instruction_list = list(instructions)
     for description in descriptions:
+        vctx = description.make_vctx(platform)
+        spec_state = description.make_spec_state(platform)
+        vctx_snap = vctx.snapshot()
+        spec_snap = spec_state.snapshot()
+        first = True
         for instr in instruction_list:
+            if not first:
+                vctx.restore(vctx_snap)
+                spec_state.restore(spec_snap)
+            first = False
+            gprs = list(description.gprs)
+            vfm_pc = vfm_step(vctx, instr, description.pc, description.mtime, gprs)
+            execute_instruction(spec_state, instr)
             report.divergences.extend(
-                check_instruction(platform, description, instr, check=task)
+                compare_states(
+                    vctx, spec_state, gprs, vfm_pc, check=task,
+                    context=lambda instr=instr: (
+                        f"instr={instr} pc={description.pc:#x}"
+                    ),
+                )
             )
             report.inputs_checked += 1
     report.elapsed_seconds = time.perf_counter() - start

@@ -1,0 +1,103 @@
+"""Pin the per-class fast-path charges to the configured costs (Table 5).
+
+Each of the five offloaded trap classes must charge *exactly* its
+configured cost plus the documented hardware surcharges — in particular
+rfence must not also pay the IPI-class cost when it reuses the IPI
+delivery machinery.
+"""
+
+import pytest
+
+from repro.isa import constants as c
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instruction
+from repro.sbi import constants as sbi
+from repro.sbi.types import SbiCall
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+
+@pytest.fixture
+def offload_parts():
+    system = build_virtualized(VISIONFIVE2)
+    machine = system.machine
+    return system.miralis.offload, machine, machine.harts[0]
+
+
+def test_time_read_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    word = encode(Instruction("csrrs", rd=5, rs1=0, csr=c.CSR_TIME))
+    hart.state.csr.write(c.CSR_MTVAL, word)
+    before = hart.cycles
+    assert offload._handle_illegal(hart)
+    assert hart.cycles - before == (
+        offload.costs.fastpath_time_read + hart.cycle_model.mmio_access
+    )
+
+
+def test_set_timer_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    before = hart.cycles
+    ret = offload._sbi_set_timer(hart, machine.read_mtime() + 100_000)
+    assert ret.is_success
+    assert hart.cycles - before == (
+        offload.costs.fastpath_set_timer + hart.cycle_model.mmio_access
+    )
+
+
+def test_ipi_self_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    before = hart.cycles
+    ret = offload._sbi_send_ipi(hart, 0b1, 0)  # hart 0 == the caller
+    assert ret.is_success
+    assert hart.cycles - before == offload.costs.fastpath_ipi
+
+
+def test_ipi_remote_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    before = hart.cycles
+    ret = offload._sbi_send_ipi(hart, 0b10, 0)  # hart 1: one CLINT write
+    assert ret.is_success
+    assert hart.cycles - before == (
+        offload.costs.fastpath_ipi + hart.cycle_model.mmio_access
+    )
+
+
+def test_rfence_self_charge(offload_parts):
+    """The seeded double-charge: rfence must NOT also pay fastpath_ipi."""
+    offload, machine, hart = offload_parts
+    call = SbiCall(eid=sbi.EXT_RFENCE, fid=sbi.FN_RFENCE_FENCE_I, args=(0b1, 0))
+    before = hart.cycles
+    ret = offload._sbi_rfence(hart, call)
+    assert ret.is_success
+    assert hart.cycles - before == (
+        offload.costs.fastpath_rfence + hart.cycle_model.memory_fence
+    )
+
+
+def test_rfence_remote_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    call = SbiCall(
+        eid=sbi.EXT_RFENCE, fid=sbi.FN_RFENCE_SFENCE_VMA, args=(0b10, 0)
+    )
+    before = hart.cycles
+    ret = offload._sbi_rfence(hart, call)
+    assert ret.is_success
+    assert hart.cycles - before == (
+        offload.costs.fastpath_rfence
+        + hart.cycle_model.memory_fence
+        + hart.cycle_model.mmio_access
+    )
+
+
+def test_misaligned_charge(offload_parts):
+    offload, machine, hart = offload_parts
+    base = machine.config.ram_base
+    mepc = base + 0x500
+    address = base + 0x9001  # misaligned for a 4-byte load
+    machine.ram.write(mepc, 4, encode(Instruction("lw", rd=5, rs1=6)))
+    hart.state.csr.write(c.CSR_MEPC, mepc)
+    hart.state.csr.write(c.CSR_MTVAL, address)
+    before = hart.cycles
+    assert offload._handle_misaligned(hart)
+    assert hart.cycles - before == offload.costs.fastpath_misaligned + 4

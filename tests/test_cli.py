@@ -40,6 +40,18 @@ class TestBootCommand:
     def test_p550_boot(self, capsys):
         assert main(["boot", "--platform", "premier-p550"]) == 0
 
+    def test_profile_boot(self, capsys):
+        assert main(["boot", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        assert "steps/sec:" in out
+        assert "isa.decode" in out
+        assert "bus.devices" in out
+
+    def test_profile_native_boot(self, capsys):
+        assert main(["boot", "--native", "--profile"]) == 0
+        assert "hot-path profile" in capsys.readouterr().out
+
 
 class TestAttackCommand:
     def test_list(self, capsys):
