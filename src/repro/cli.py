@@ -34,11 +34,43 @@ def _demo_workload(kernel, ctx):
                       f"ssi={kernel.software_interrupts}\n")
 
 
+#: Halt reasons that indicate the boot failed rather than completed.
+def _diagnose_halt(reason: str):
+    """One-line diagnosis if ``reason`` is a failure halt, else None."""
+    if reason.startswith("firmware panic"):
+        return f"firmware panicked: {reason}"
+    if reason.startswith("miralis:"):
+        return f"monitor stopped the machine: {reason}"
+    if reason.startswith("kernel:"):
+        return f"kernel fault: {reason}"
+    if "violation" in reason:
+        return f"policy violation: {reason}"
+    return None
+
+
+def command_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos
+
+    result = run_chaos(
+        args.firmware,
+        plan=args.chaos_plan,
+        seed=args.chaos_seed,
+        platform=PLATFORMS[args.platform],
+    )
+    if result.console:
+        print(result.console)
+    print(result.report())
+    return 0 if result.ok else 1
+
+
 def command_boot(args: argparse.Namespace) -> int:
+    from repro.hart.program import MachineHalted, ProtocolError
     from repro.perf import StepMeter, profile_report
     from repro.system import build_native, build_virtualized
     from repro.policy import DefaultPolicy, FirmwareSandboxPolicy
 
+    if args.chaos:
+        return command_chaos(args)
     platform = PLATFORMS[args.platform]
     if args.native:
         system = build_native(platform, workload=_demo_workload)
@@ -55,8 +87,15 @@ def command_boot(args: argparse.Namespace) -> int:
             offload=not args.no_offload,
         )
     meter = StepMeter()
-    with meter:
-        reason = system.run()
+    try:
+        with meter:
+            reason = system.run()
+    except (MachineHalted, ProtocolError) as exc:
+        # Normally ``boot`` returns the halt reason; an exception escaping
+        # here means the run died mid-dispatch (e.g. a wedged firmware).
+        print(system.console_output)
+        print(f"boot failed: {exc}")
+        return 1
     meter.add_steps(sum(hart.instret for hart in system.machine.harts))
     print(system.console_output)
     print(f"halt:             {reason}")
@@ -69,6 +108,10 @@ def command_boot(args: argparse.Namespace) -> int:
         print(f"fast-path hits:   {dict(system.miralis.offload.hits)}")
     if args.profile:
         print(profile_report(system.machine, meter))
+    diagnosis = _diagnose_halt(reason)
+    if diagnosis is not None:
+        print(f"boot failed: {diagnosis}")
+        return 1
     return 0
 
 
@@ -194,6 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
     boot.add_argument("--profile", action="store_true",
                       help="print a hot-path profile (cache hit rates, "
                            "steps/sec) after the run")
+    boot.add_argument("--chaos", action="store_true",
+                      help="boot under a fault-injection plan with the "
+                           "firmware watchdog armed")
+    boot.add_argument("--chaos-plan", default="random",
+                      help="fault plan name, or 'random' to compose one "
+                           "from the seed (default: random)")
+    boot.add_argument("--chaos-seed", type=int, default=0,
+                      help="seed for the deterministic fault injector")
+    boot.add_argument("--firmware",
+                      choices=["opensbi", "rustsbi", "zephyr", "malicious"],
+                      default="opensbi",
+                      help="firmware payload for --chaos runs")
     boot.set_defaults(func=command_boot)
 
     attack = sub.add_parser("attack", help="run an adversarial firmware")

@@ -59,3 +59,26 @@ class MiralisConfig:
     #: Maximum virtual PMP registers exposed to the firmware; the actual
     #: number is additionally limited by free physical entries.
     max_virtual_pmp: int = 16
+
+    # -- firmware watchdog (fault containment & recovery) ---------------
+    #: Arm the firmware watchdog: detect wedged/crashing vM-mode firmware
+    #: and recover (retry, then quarantine) instead of halting.
+    watchdog_enabled: bool = False
+    #: Traps the firmware may take during one activation (boot, or one
+    #: injected trap) before it is declared wedged.
+    vm_trap_budget: int = 20_000
+    #: Identical firmware memory faults (same mtval) tolerated within one
+    #: activation before declaring a PMP/access-fault livelock.
+    max_fault_repeats: int = 16
+    #: Nested virtual trap injections (trap during trap handling) before
+    #: declaring a double-trap cascade.
+    max_nested_traps: int = 8
+    #: Consecutive failed activations before the firmware is quarantined
+    #: and Miralis serves default SBI responses itself.
+    max_firmware_retries: int = 3
+    #: Cycle cost charged for the first retry; doubles per attempt
+    #: (bounded exponential backoff).
+    retry_backoff_cycles: int = 10_000
+    #: Policy violations tolerated within one activation (watchdog mode
+    #: neutralizes violations instead of halting).
+    max_violations_per_activation: int = 16

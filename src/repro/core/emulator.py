@@ -150,6 +150,9 @@ def emulate_privileged(
                     new = old | operand
                 else:
                     new = old & ~operand
+                hook = vctx.csr_write_hook
+                if hook is not None:
+                    new = hook(instr.csr, new)
                 effects = write_csr(vctx, instr.csr, new)
         except VirtCsrError:
             from repro.isa.encoding import encode

@@ -26,6 +26,7 @@ from repro.core.offload import FastPath
 from repro.core.vclint import VirtualClint
 from repro.core.vcpu import VirtContext, World
 from repro.core.vpmp import PmpVirtualizer
+from repro.core.watchdog import FirmwareWatchdog
 from repro.core.world_switch import WorldSwitcher
 from repro.hart.cycles import mtime_to_cycles
 from repro.hart.program import MachineHalted, Region
@@ -33,8 +34,10 @@ from repro.isa import constants as c
 from repro.isa.decoder import decode
 from repro.isa.instructions import IllegalInstructionError
 from repro.policy.interface import PolicyAction
+from repro.sbi import constants as sbi
 from repro.sbi.constants import SbiError
 from repro.sbi.types import SbiCall, SbiRet
+from repro.spec.step import BusError
 
 U64 = (1 << 64) - 1
 
@@ -67,6 +70,12 @@ class Miralis:
         self._booted = [False] * num_harts
         self._policy_initialized = False
         machine.hart_start_hook = self._start_hart_in_os
+        self.watchdog = (
+            FirmwareWatchdog(self, config) if config.watchdog_enabled else None
+        )
+        if self.watchdog is not None:
+            machine.firmware_panic_hook = self.watchdog.on_panic
+            machine.recovery_stats = self.watchdog.counters
 
     # ------------------------------------------------------------------
     # Host-work accounting
@@ -101,6 +110,9 @@ class Miralis:
             self.policy.init(self, self.machine)
             self._policy_initialized = True
         vctx = self.vctx[hart.hartid]
+        injector = self.machine.fault_injector
+        if injector is not None:
+            vctx.csr_write_hook = injector.csr_hook(hart.hartid)
         csr_file = hart.state.csr
         csr_file.mtvec = self.region.base
         csr_file.medeleg = 0
@@ -110,6 +122,8 @@ class Miralis:
         self.world[hart.hartid] = World.FIRMWARE
         self._booted[hart.hartid] = True
         self._charge_host(hart, 2_000)  # monitor bring-up
+        if self.watchdog is not None:
+            self.watchdog.arm_boot(hart, vctx)
         hart.state.mode = c.U_MODE
         hart.state.pc = self.firmware.entry_point
         hart.charge(hart.cycle_model.xret)
@@ -127,6 +141,8 @@ class Miralis:
         csr_file.mtvec = self.region.base
         csr_file.mie = c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP
         self._booted[hartid] = True
+        if self.watchdog is not None:
+            self.watchdog.os_entered[hartid] = True
         self.switcher.enter_os(hart, vctx, c.S_MODE)
         hart.state.pc = start_addr
         hart.state.set_xreg(10, hartid)
@@ -147,6 +163,10 @@ class Miralis:
         mepc = csr_file.mepc
         mtval = csr_file.read(c.CSR_MTVAL)
         code = mcause & ~c.INTERRUPT_BIT
+
+        if (self.watchdog is not None
+                and self.world[hart.hartid] == World.FIRMWARE):
+            self.watchdog.note_vm_trap(hart, vctx)
 
         if mcause & c.INTERRUPT_BIT:
             self._handle_physical_interrupt(hart, vctx, code, mepc)
@@ -173,10 +193,28 @@ class Miralis:
     # Traps from the virtualized firmware
     # ------------------------------------------------------------------
 
+    def _inject_firmware_trap(self, hart, vctx, cause, is_interrupt, tval,
+                              trapped_pc) -> None:
+        """Inject a virtual trap, with watchdog depth/vector validation."""
+        pc = inject_virtual_trap(vctx, cause, is_interrupt, tval, trapped_pc)
+        if self.watchdog is not None:
+            self.watchdog.note_injection(hart, vctx)
+            if self.machine.owner_of(pc) is None:
+                self.watchdog.on_bad_vector(hart, vctx, pc)
+        hart.state.pc = pc
+
     def _handle_firmware_trap(self, hart, vctx, code, mepc, mtval) -> None:
         from repro.spec.traps import Trap
 
         costs = self.config.costs
+        injector = self.machine.fault_injector
+        if injector is not None and injector.stall_firmware(hart.hartid):
+            # Injected runaway loop: resume the trapped instruction without
+            # emulating it, so it traps again.  Only the watchdog's trap
+            # budget can break the cycle.
+            self.machine.stats.annotate_last("fault-inject", detail="stall")
+            hart.state.pc = mepc
+            return
         if code == c.TrapCause.ILLEGAL_INSTRUCTION:
             self._emulate_firmware_instruction(hart, vctx, mepc, mtval)
             return
@@ -189,8 +227,8 @@ class Miralis:
             if action == PolicyAction.HANDLED:
                 hart.state.pc = (mepc + 4) & U64
                 return
-            hart.state.pc = inject_virtual_trap(
-                vctx, c.TrapCause.ECALL_FROM_M, False, 0, mepc
+            self._inject_firmware_trap(
+                hart, vctx, c.TrapCause.ECALL_FROM_M, False, 0, mepc
             )
             self._charge_host(hart, costs.inject)
             return
@@ -207,7 +245,7 @@ class Miralis:
             return
         if action == PolicyAction.HANDLED:
             return
-        hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+        self._inject_firmware_trap(hart, vctx, code, False, mtval, mepc)
         self._charge_host(hart, costs.inject)
 
     def _emulate_firmware_instruction(self, hart, vctx, mepc, mtval) -> None:
@@ -216,6 +254,10 @@ class Miralis:
             instr = decode(mtval)
         except IllegalInstructionError:
             instr = None
+        injector = self.machine.fault_injector
+        if (instr is not None and injector is not None
+                and injector.flip_instruction(hart.hartid, instr.mnemonic)):
+            instr = None  # injected decoder glitch: treat as illegal
         self.machine.stats.annotate_last(
             "miralis-emulate",
             detail=f"emulate:{instr.mnemonic}" if instr else "emulate:invalid",
@@ -224,8 +266,8 @@ class Miralis:
         self.emulation_count += 1
         self._charge_host(hart, costs.emulate_instruction)
         if instr is None:
-            hart.state.pc = inject_virtual_trap(
-                vctx, c.TrapCause.ILLEGAL_INSTRUCTION, False, mtval, mepc
+            self._inject_firmware_trap(
+                hart, vctx, c.TrapCause.ILLEGAL_INSTRUCTION, False, mtval, mepc
             )
             return
         try:
@@ -238,8 +280,8 @@ class Miralis:
                 mtime=self.machine.read_mtime(),
             )
         except VirtualTrapError as exc:
-            hart.state.pc = inject_virtual_trap(
-                vctx, exc.cause, False, exc.tval, mepc
+            self._inject_firmware_trap(
+                hart, vctx, exc.cause, False, exc.tval, mepc
             )
             self._charge_host(hart, costs.inject)
             return
@@ -248,12 +290,22 @@ class Miralis:
             hart.charge(writes * hart.cycle_model.csr_access)
         if result.is_fence:
             hart.charge(hart.cycle_model.memory_fence)
+        if self.watchdog is not None and instr.mnemonic in ("mret", "sret"):
+            self.watchdog.note_virtual_xret(hart)
         if result.world_switch:
+            if (self.watchdog is not None
+                    and self.machine.owner_of(result.next_pc) is None):
+                self.watchdog.recover(
+                    hart, vctx,
+                    f"world switch targets unmapped pc {result.next_pc:#x}",
+                )
             action = self.policy.on_switch_from_firmware(hart, vctx)
             if action == PolicyAction.DENY:
                 self._violation(hart, "world switch to OS denied by policy")
                 return
             self.switcher.enter_os(hart, vctx, result.new_virtual_mode)
+            if self.watchdog is not None:
+                self.watchdog.note_enter_os(hart)
             hart.state.pc = result.next_pc
             return
         if result.is_wfi:
@@ -264,6 +316,8 @@ class Miralis:
         from repro.spec.traps import Trap
 
         costs = self.config.costs
+        if self.watchdog is not None:
+            self.watchdog.note_memory_fault(hart, vctx, mtval)
         if self.vclint.contains(mtval):
             try:
                 instr = decode(self.machine.ram.read(mepc, 4))
@@ -273,10 +327,26 @@ class Miralis:
                 self.machine.stats.annotate_last(
                     "miralis-emulate", detail="vclint"
                 )
+                injector = self.machine.fault_injector
+                if injector is not None and injector.mmio_error(
+                    "vclint",
+                    "write" if instr.is_store else "read",
+                    mtval - self.machine.clint.base,
+                ):
+                    # Transient virtual-CLINT fault: surface it to the
+                    # firmware as the access fault it already took.
+                    self._inject_firmware_trap(
+                        hart, vctx, code, False, mtval, mepc
+                    )
+                    return
                 try:
                     self.vclint.emulate_access(hart, instr, mtval)
-                except ValueError:
-                    hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+                except (ValueError, BusError):
+                    # Bad register mapping, or a transient fault on the
+                    # physical CLINT behind the passthrough path.
+                    self._inject_firmware_trap(
+                        hart, vctx, code, False, mtval, mepc
+                    )
                     return
                 self._charge_host(hart, costs.vclint_access)
                 hart.state.pc = (mepc + 4) & U64
@@ -298,7 +368,7 @@ class Miralis:
         if action == PolicyAction.HANDLED:
             return
         self.machine.stats.annotate_last("miralis-emulate", detail="vm-fault")
-        hart.state.pc = inject_virtual_trap(vctx, code, False, mtval, mepc)
+        self._inject_firmware_trap(hart, vctx, code, False, mtval, mepc)
         self._charge_host(hart, costs.inject)
 
     def _firmware_wfi(self, hart, vctx) -> None:
@@ -321,6 +391,8 @@ class Miralis:
             return
         self._refresh_vmip(hart, vctx)
         if not vctx.mip & vctx.mie:
+            if self.watchdog is not None:
+                self.watchdog.on_wfi_stall(hart, vctx)  # does not return
             self.machine.halt(
                 "miralis: virtual firmware waits for interrupt with no "
                 "wakeup source armed"
@@ -370,6 +442,9 @@ class Miralis:
 
     def _enter_firmware_with_trap(self, hart, vctx, code, is_interrupt, mtval,
                                   mepc) -> None:
+        if self.watchdog is not None and self.watchdog.quarantined[hart.hartid]:
+            self._serve_quarantined(hart, vctx, code, is_interrupt, mtval, mepc)
+            return
         action = self.policy.on_switch_from_os(hart, vctx)
         if action == PolicyAction.DENY:
             self._violation(hart, "world switch to firmware denied by policy")
@@ -379,8 +454,10 @@ class Miralis:
             detail=f"reinject:{'irq' if is_interrupt else 'exc'}:{code}",
         )
         self.switcher.enter_firmware(hart, vctx)
+        if self.watchdog is not None:
+            self.watchdog.arm_trap(hart, vctx, code, is_interrupt, mtval, mepc)
         self._refresh_vmip(hart, vctx)
-        hart.state.pc = inject_virtual_trap(vctx, code, is_interrupt, mtval, mepc)
+        self._inject_firmware_trap(hart, vctx, code, is_interrupt, mtval, mepc)
         hart.state.mode = c.U_MODE
         self._charge_host(hart, self.config.costs.inject)
 
@@ -400,8 +477,12 @@ class Miralis:
         if action == PolicyAction.HANDLED:
             return
         in_os = self.world[hart.hartid] == World.OS
-        if in_os and self.config.offload_enabled and self.offload.try_handle_interrupt(
-            hart, vctx, irq
+        quarantined = (
+            self.watchdog is not None
+            and self.watchdog.quarantined[hart.hartid]
+        )
+        if in_os and (self.config.offload_enabled or quarantined) and (
+            self.offload.try_handle_interrupt(hart, vctx, irq)
         ):
             hart.state.pc = mepc
             self._return_to_os(hart)
@@ -442,9 +523,7 @@ class Miralis:
         irq = pending_virtual_interrupt(vctx, World.FIRMWARE)
         if irq is None:
             return
-        hart.state.pc = inject_virtual_trap(
-            vctx, irq, True, 0, hart.state.pc
-        )
+        self._inject_firmware_trap(hart, vctx, irq, True, 0, hart.state.pc)
         self._charge_host(hart, self.config.costs.inject)
 
     def _sync_physical_mie(self, hart, vctx) -> None:
@@ -465,9 +544,14 @@ class Miralis:
             deliverable = vctx.mie if vctx.mstatus & c.MSTATUS_MIE else 0
             m_bits = deliverable & (c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP)
         else:
+            quarantined = (
+                self.watchdog is not None
+                and self.watchdog.quarantined[hart.hartid]
+            )
             if vctx.mie & c.MIP_MTIP or self.offload.timer_armed[hart.hartid]:
                 m_bits |= c.MIP_MTIP
-            if vctx.mie & c.MIP_MSIP or self.config.offload_enabled:
+            if (vctx.mie & c.MIP_MSIP or self.config.offload_enabled
+                    or quarantined):
                 m_bits |= c.MIP_MSIP
             if vctx.mie & c.MIP_MEIP:
                 m_bits |= c.MIP_MEIP
@@ -480,9 +564,21 @@ class Miralis:
     def _violation(self, hart, message: str) -> None:
         self.violations.append(message)
         self.machine.stats.annotate_last("miralis-violation", detail=message)
+        if (self.watchdog is not None
+                and self.world[hart.hartid] == World.FIRMWARE):
+            # Under the watchdog, firmware violations degrade gracefully:
+            # neutralize the action; a violation storm triggers recovery.
+            self.watchdog.note_violation(
+                hart, self.vctx[hart.hartid], message
+            )
+            self._neutralize(hart)
+            return
         if self.config.halt_on_violation:
             self.machine.halt(f"miralis: {message}")
             raise MachineHalted(self.machine.halt_reason)
+        self._neutralize(hart)
+
+    def _neutralize(self, hart) -> None:
         # Production behaviour (§5.2): "log the invalid action and return
         # arbitrary values" — neutralize the instruction and feed a blocked
         # load a constant, so nothing real leaks.
@@ -494,3 +590,140 @@ class Miralis:
         except Exception:
             pass
         hart.state.pc = (mepc + 4) & U64
+
+    # ------------------------------------------------------------------
+    # Watchdog recovery entry points
+    # ------------------------------------------------------------------
+
+    def reenter_firmware_boot(self, hart, vctx) -> None:
+        """Retry a failed boot activation from the firmware entry point."""
+        csr_file = hart.state.csr
+        csr_file.mtvec = self.region.base
+        csr_file.medeleg = 0
+        csr_file.mideleg = 0
+        csr_file.mie = c.MIP_MTIP | c.MIP_MSIP | c.MIP_MEIP
+        self.vpmp.install(hart, vctx, World.FIRMWARE, self.policy)
+        self.world[hart.hartid] = World.FIRMWARE
+        self._charge_host(hart, 2_000)  # monitor re-init
+        hart.state.mode = c.U_MODE
+        hart.state.pc = self.firmware.entry_point
+
+    def reinject_after_recovery(self, hart, vctx, code, is_interrupt, mtval,
+                                mepc) -> None:
+        """Retry a failed trap activation: re-inject the original trap."""
+        self.world[hart.hartid] = World.FIRMWARE
+        self._refresh_vmip(hart, vctx)
+        self._inject_firmware_trap(hart, vctx, code, is_interrupt, mtval, mepc)
+        hart.state.mode = c.U_MODE
+        self._sync_physical_mie(hart, vctx)
+        self._charge_host(hart, self.config.costs.inject)
+
+    def resume_os_quarantined(self, hart, vctx, code, is_interrupt, mtval,
+                              mepc, os_mode) -> None:
+        """Quarantine fallback: switch back to the OS and serve the trap."""
+        self.policy.on_switch_from_firmware(hart, vctx)
+        self.switcher.enter_os(hart, vctx, os_mode)
+        self._serve_quarantined(hart, vctx, code, is_interrupt, mtval, mepc)
+        self._sync_physical_mie(hart, vctx)
+
+    def _serve_quarantined(self, hart, vctx, code, is_interrupt, mtval,
+                           mepc) -> None:
+        """Handle an OS trap in-monitor while the firmware is quarantined."""
+        self.machine.stats.annotate_last(
+            "miralis-quarantine",
+            detail=f"{'irq' if is_interrupt else 'exc'}:{code}",
+        )
+        if self.watchdog is not None:
+            self.watchdog.counters["quarantined-served"] += 1
+        if is_interrupt:
+            # The fast path forwards timer/IPI interrupts; anything else
+            # is dropped (its virtual handler no longer exists).
+            self.offload.try_handle_interrupt(hart, vctx, code)
+            hart.state.pc = mepc
+            return
+        if self.offload.try_handle_exception(hart, vctx, code):
+            return
+        if code == c.TrapCause.ECALL_FROM_S:
+            call = SbiCall.from_regs(hart.state.xregs)
+            ret = self._default_sbi(hart, call)
+            error, value = ret.to_u64()
+            hart.state.set_xreg(10, error)
+            if call.eid not in sbi.LEGACY_EXTENSIONS:
+                hart.state.set_xreg(11, value)
+            hart.state.pc = (mepc + 4) & U64
+            return
+        self.machine.halt(
+            f"miralis: OS trap {code} unservable with firmware quarantined"
+        )
+        raise MachineHalted(self.machine.halt_reason)
+
+    def _default_sbi(self, hart, call: SbiCall) -> SbiRet:
+        """Miralis-served SBI responses for a quarantined firmware.
+
+        Covers the calls an OS needs to keep running or shut down cleanly:
+        base queries, console output, HSM status, and system reset.  The
+        hot calls (timer, IPI, rfence) are already served by the fast path
+        before this is reached.
+        """
+        if self.watchdog is not None:
+            self.watchdog.counters["default-sbi"] += 1
+        eid, fid = call.eid, call.fid
+        if eid == sbi.EXT_BASE:
+            if fid == sbi.FN_BASE_GET_SPEC_VERSION:
+                return SbiRet.success(sbi.SBI_SPEC_VERSION_2_0)
+            if fid == sbi.FN_BASE_GET_IMPL_ID:
+                return SbiRet.success(getattr(self.firmware, "IMPL_ID", 0))
+            if fid == sbi.FN_BASE_GET_IMPL_VERSION:
+                return SbiRet.success(0)
+            if fid == sbi.FN_BASE_PROBE_EXTENSION:
+                probeable = (
+                    sbi.EXT_BASE, sbi.EXT_TIMER, sbi.EXT_IPI, sbi.EXT_RFENCE,
+                    sbi.EXT_HSM, sbi.EXT_SRST, sbi.EXT_DBCN,
+                )
+                return SbiRet.success(int(call.arg(0) in probeable))
+            if fid in (sbi.FN_BASE_GET_MVENDORID, sbi.FN_BASE_GET_MARCHID,
+                       sbi.FN_BASE_GET_MIMPID):
+                return SbiRet.success(0)
+            return SbiRet.failure(SbiError.ERR_NOT_SUPPORTED)
+        if eid == sbi.EXT_SRST and fid == sbi.FN_SRST_SYSTEM_RESET:
+            self.machine.halt(
+                f"sbi system reset (type={call.arg(0)}, reason={call.arg(1)}) "
+                f"[firmware quarantined]"
+            )
+            return SbiRet.success()
+        if eid == sbi.EXT_HSM and fid == sbi.FN_HSM_HART_GET_STATUS:
+            states = getattr(self.firmware, "hsm_states", None)
+            hartid = call.arg(0)
+            if states is not None and 0 <= hartid < len(states):
+                return SbiRet.success(states[hartid])
+            return SbiRet.failure(SbiError.ERR_INVALID_PARAM)
+        if eid == sbi.EXT_DBCN:
+            if fid == sbi.FN_DBCN_CONSOLE_WRITE_BYTE:
+                self._quarantine_putchar(call.arg(0) & 0xFF)
+                return SbiRet.success(1)
+            if fid == sbi.FN_DBCN_CONSOLE_WRITE:
+                count = min(call.arg(0), 4096)
+                base = call.arg(1)
+                written = 0
+                for i in range(count):
+                    try:
+                        byte = self.machine.spec_bus.read(base + i, 1)
+                    except BusError:
+                        break
+                    self._quarantine_putchar(byte)
+                    written += 1
+                return SbiRet.success(written)
+            return SbiRet.failure(SbiError.ERR_NOT_SUPPORTED)
+        if eid == sbi.LEGACY_CONSOLE_PUTCHAR:
+            self._quarantine_putchar(call.arg(0) & 0xFF)
+            return SbiRet.success()
+        if eid == sbi.LEGACY_SHUTDOWN:
+            self.machine.halt("sbi legacy shutdown [firmware quarantined]")
+            return SbiRet.success()
+        return SbiRet.failure(SbiError.ERR_NOT_SUPPORTED)
+
+    def _quarantine_putchar(self, byte: int) -> None:
+        try:
+            self.machine.uart.write(0, 1, byte)
+        except BusError:
+            pass  # transient console fault: drop the byte

@@ -19,6 +19,7 @@ from repro.isa.decoder import decode
 from repro.isa.instructions import IllegalInstructionError, Instruction
 from repro.sbi import constants as sbi
 from repro.sbi.types import SbiCall, SbiRet
+from repro.spec.step import BusError
 
 U64 = (1 << 64) - 1
 
@@ -114,7 +115,12 @@ class FastPath:
 
     def _sbi_set_timer(self, hart, deadline: int) -> SbiRet:
         hartid = hart.hartid
-        self.miralis.vclint.set_monitor_deadline(hartid, deadline)
+        try:
+            self.miralis.vclint.set_monitor_deadline(hartid, deadline)
+        except BusError:
+            # Transient CLINT fault: the deadline is latched virtually on
+            # retry; report failure so the OS re-arms.
+            return SbiRet.failure(sbi.SbiError.ERR_FAILED)
         self.timer_armed[hartid] = True
         # Clear the supervisor timer-pending bit; it is raised again when
         # the physical interrupt arrives (handled by the fast path too).
@@ -141,7 +147,10 @@ class FastPath:
                 # Self-IPI: raise SSIP directly, no CLINT round trip.
                 hart.state.csr.mip_sw |= c.MIP_SSIP
                 continue
-            self.machine.clint.write(0x0 + 4 * target, 4, 1)
+            try:
+                self.machine.clint.write(0x0 + 4 * target, 4, 1)
+            except BusError:
+                continue  # transient CLINT fault: the IPI is lost
             hart.charge(hart.cycle_model.mmio_access)
 
     def _sbi_send_ipi(self, hart, hart_mask: int, mask_base: int) -> SbiRet:
@@ -214,7 +223,11 @@ class FastPath:
                 # The OS's deadline: raise STIP, park the monitor deadline.
                 hart.state.csr.mip_sw |= c.MIP_STIP
                 self.timer_armed[hartid] = False
-                self.miralis.vclint.clear_monitor_deadline(hartid)
+                try:
+                    self.miralis.vclint.clear_monitor_deadline(hartid)
+                except BusError:
+                    pass  # transient CLINT fault: deadline stays parked
+
                 hart.charge(self.costs.fastpath_set_timer)
                 self.hits["timer-interrupt"] += 1
                 self.machine.stats.note_fastpath()
@@ -224,7 +237,10 @@ class FastPath:
                 return True
         if irq == c.IRQ_MSI:
             # IPI forwarding: ack the CLINT, raise SSIP for the OS.
-            self.machine.clint.write(0x0 + 4 * hartid, 4, 0)
+            try:
+                self.machine.clint.write(0x0 + 4 * hartid, 4, 0)
+            except BusError:
+                pass  # ack lost to a transient fault; SSIP still delivered
             hart.state.csr.mip_sw |= c.MIP_SSIP
             hart.charge(self.costs.fastpath_ipi + hart.cycle_model.mmio_access)
             self.hits["ipi-interrupt"] += 1

@@ -39,6 +39,10 @@ class VirtContext:
         #: the physical count: Miralis reserves entries, §4.2).  The
         #: monitor overwrites this at init.
         self.virtual_pmp_count = config.pmp_count
+        #: Fault-injection hook: ``hook(csr, value) -> value`` consulted by
+        #: the emulator before each virtual CSR write.  Not part of the
+        #: architectural state (excluded from snapshots).
+        self.csr_write_hook = None
 
         # Virtual machine-level CSRs.
         self.mstatus = (c.XL_64 << 32) | (c.XL_64 << 34) | (3 << c.MSTATUS_MPP_SHIFT)

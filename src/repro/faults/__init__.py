@@ -1,0 +1,47 @@
+"""Deterministic fault injection and chaos testing for the monitor.
+
+The package has three layers:
+
+* :mod:`repro.faults.injector` — the seedable :class:`FaultInjector` that
+  corrupts vCSR writes, raises transient MMIO bus errors, flips decoded
+  firmware instructions to illegal, and stalls firmware activations.
+* :mod:`repro.faults.plans` — named :class:`FaultPlan` presets plus a
+  ``random`` plan generator, all reproducible from a single seed.
+* :mod:`repro.faults.chaos` — the end-to-end chaos harness that boots a
+  firmware under a plan and classifies the outcome (checkpoint reached,
+  clean quarantine, benign halt, or a real failure).
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectionEvent,
+    SITES,
+)
+from repro.faults.plans import CHAOS_SUITE, PLANS, random_plan, resolve_plan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionEvent",
+    "SITES",
+    "CHAOS_SUITE",
+    "PLANS",
+    "random_plan",
+    "resolve_plan",
+    "ChaosResult",
+    "run_chaos",
+    "CHAOS_FIRMWARES",
+]
+
+
+def __getattr__(name):
+    # Lazy: chaos pulls in the whole system builder; keep plain injector
+    # imports (e.g. from unit tests) light.
+    if name in ("ChaosResult", "run_chaos", "CHAOS_FIRMWARES"):
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(name)

@@ -1,0 +1,239 @@
+"""Chaos harness: boot a firmware under a fault plan, classify the end.
+
+One :func:`run_chaos` call assembles a full platform, installs a seeded
+:class:`~repro.faults.injector.FaultInjector`, arms the firmware watchdog,
+and runs to completion.  The contract checked by the chaos suite is the
+robustness goal of the fault model: for every firmware × plan × seed the
+run either reaches the OS workload checkpoint or terminates through a
+*recorded* recovery decision (retry or quarantine) — never by leaking a
+Python exception out of the simulator.
+
+Everything is deterministic: the injector draws from ``random.Random(seed)``
+in simulator execution order and the simulator itself has no wall-clock
+dependence, so two runs with the same (firmware, plan, seed) produce
+identical trap logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plans import resolve_plan
+from repro.spec.platform import PlatformConfig, VISIONFIVE2
+
+#: Firmware payloads the chaos suite exercises.
+CHAOS_FIRMWARES = ("opensbi", "rustsbi", "zephyr", "malicious")
+
+#: Budget for one chaos run.  Generous against the worst plan (stall-loop
+#: burns ~8k traps across retries) yet low enough that a wedged run fails
+#: fast instead of hanging CI.
+MAX_DISPATCHES = 3_000_000
+
+#: Halt reasons that count as a clean end even without an explicit
+#: checkpoint or quarantine (normal shutdown paths).
+_CLEAN_HALTS = (
+    "sbi system reset",
+    "workload complete",
+    "firmware quarantined",
+)
+
+
+@dataclasses.dataclass
+class ChaosResult:
+    """Outcome of one chaos run, sufficient to reproduce and classify it."""
+
+    firmware: str
+    plan: str
+    seed: int
+    halt_reason: str = ""
+    checkpoint: bool = False
+    quarantined: bool = False
+    recoveries: dict = dataclasses.field(default_factory=dict)
+    injections: int = 0
+    trap_log: tuple = ()
+    console: str = ""
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """The robustness contract: checkpoint, quarantine, or clean halt —
+        and no Python exception escaped the simulator."""
+        if self.error is not None:
+            return False
+        if self.checkpoint or self.quarantined:
+            return True
+        return any(marker in self.halt_reason for marker in _CLEAN_HALTS)
+
+    def report(self) -> str:
+        lines = [
+            f"firmware:     {self.firmware}",
+            f"plan:         {self.plan}",
+            f"seed:         {self.seed}",
+            f"halt:         {self.halt_reason}",
+            f"checkpoint:   {self.checkpoint}",
+            f"quarantined:  {self.quarantined}",
+            f"injections:   {self.injections}",
+            f"recoveries:   {self.recoveries}",
+            f"verdict:      {'OK' if self.ok else 'FAILED'}",
+        ]
+        if self.error is not None:
+            lines.append(f"error:        {self.error}")
+        return "\n".join(lines)
+
+
+def _chaos_miralis_config(vendor_csrs) -> "object":
+    from repro.core.config import MiralisConfig
+
+    return MiralisConfig(
+        offload_enabled=False,
+        watchdog_enabled=True,
+        halt_on_violation=False,
+        vm_trap_budget=2_000,
+        allowed_vendor_csrs=tuple(vendor_csrs),
+    )
+
+
+def _sbi_chaos_workload(checkpoint: list, trigger_attack: bool, secret: int):
+    """An S-mode workload touching every offload-relevant surface, ending
+    at an explicit checkpoint marker."""
+
+    def workload(kernel, ctx):
+        if trigger_attack:
+            from repro.firmware.malicious import TRIGGER_EID
+
+            ctx.store(secret, 0x5EC12E7, size=8)
+            kernel.sbi_call(ctx, TRIGGER_EID, 0)
+        t0 = kernel.read_time(ctx)
+        ctx.compute(2_000)
+        kernel.sbi_send_ipi(ctx, 0b1, 0)
+        ctx.compute(200)
+        t1 = kernel.read_time(ctx)
+        ctx.store(kernel.region.base + 0x8000, t1 - t0, size=8)
+        checkpoint.append(True)
+        kernel.print(ctx, "chaos: checkpoint reached\n")
+
+    return workload
+
+
+def _run_sbi_chaos(
+    result: ChaosResult,
+    injector: FaultInjector,
+    platform: PlatformConfig,
+    firmware: str,
+) -> tuple:
+    """Boot an SBI firmware (OpenSBI/RustSBI/malicious) under the sandbox
+    with the watchdog armed; returns (machine, miralis, halt_reason)."""
+    from repro.firmware.malicious import MaliciousFirmware
+    from repro.firmware.opensbi import OpenSbiFirmware
+    from repro.firmware.rustsbi import RustSbiFirmware
+    from repro.policy.sandbox import FirmwareSandboxPolicy
+    from repro.system import build_virtualized, memory_regions
+
+    checkpoint: list = []
+    regions = memory_regions(platform)
+    secret = regions["kernel"].base + 0x2000
+    firmware_kwargs: dict = {}
+    firmware_class: type
+    if firmware == "malicious":
+        firmware_class = MaliciousFirmware
+        firmware_kwargs = {
+            "attack": "read_os_memory",
+            "os_secret_address": secret,
+            "monitor_address": regions["miralis"].base + 0x100,
+        }
+    elif firmware == "rustsbi":
+        firmware_class = RustSbiFirmware
+    else:
+        firmware_class = OpenSbiFirmware
+    system = build_virtualized(
+        platform,
+        firmware_class=firmware_class,
+        workload=_sbi_chaos_workload(
+            checkpoint, firmware == "malicious", secret
+        ),
+        policy=FirmwareSandboxPolicy(
+            extra_allowed_regions=[(platform.uart_base, 0x100)]
+        ),
+        firmware_kwargs=firmware_kwargs,
+        miralis_config=_chaos_miralis_config(platform.vendor_csrs),
+    )
+    machine = system.machine
+    machine.max_dispatches = MAX_DISPATCHES
+    machine.install_fault_injector(injector)
+    reason = system.run()
+    result.checkpoint = bool(checkpoint)
+    return machine, system.miralis, reason
+
+
+def _run_zephyr_chaos(
+    result: ChaosResult,
+    injector: FaultInjector,
+    platform: PlatformConfig,
+) -> tuple:
+    """Boot the Zephyr RTOS in vM-mode under the watchdog.  There is no
+    S-mode OS; the checkpoint is the RTOS test suite completing."""
+    from repro.core.miralis import Miralis
+    from repro.firmware.zephyr import ZephyrFirmware
+    from repro.hart.machine import Machine
+    from repro.policy.default import DefaultPolicy
+    from repro.system import memory_regions
+
+    machine = Machine(platform)
+    regions = memory_regions(platform)
+    zephyr = ZephyrFirmware("zephyr", regions["firmware"], machine, num_ticks=5)
+    miralis = Miralis(
+        machine=machine,
+        region=regions["miralis"],
+        firmware=zephyr,
+        config=_chaos_miralis_config(platform.vendor_csrs),
+        policy=DefaultPolicy(),
+    )
+    machine.register(zephyr)
+    machine.register(miralis)
+    machine.max_dispatches = MAX_DISPATCHES
+    machine.install_fault_injector(injector)
+    reason = machine.boot(entry=miralis.region.base)
+    result.checkpoint = zephyr.suite_passed() or "workload complete" in reason
+    return machine, miralis, reason
+
+
+def run_chaos(
+    firmware: str = "opensbi",
+    plan="random",
+    seed: int = 0,
+    platform: PlatformConfig = VISIONFIVE2,
+) -> ChaosResult:
+    """Boot ``firmware`` under fault ``plan`` with ``seed``; never raises."""
+    if firmware not in CHAOS_FIRMWARES:
+        raise ValueError(
+            f"unknown firmware {firmware!r}; choose from {CHAOS_FIRMWARES}"
+        )
+    resolved = resolve_plan(plan, seed=seed)
+    injector = FaultInjector(resolved, seed=seed)
+    result = ChaosResult(firmware=firmware, plan=resolved.name, seed=seed)
+    machine = miralis = None
+    try:
+        if firmware == "zephyr":
+            machine, miralis, reason = _run_zephyr_chaos(
+                result, injector, platform
+            )
+        else:
+            machine, miralis, reason = _run_sbi_chaos(
+                result, injector, platform, firmware
+            )
+        result.halt_reason = reason
+    except Exception as exc:  # noqa: BLE001 — the whole point: no leaks
+        result.error = f"{type(exc).__name__}: {exc}"
+    result.injections = len(injector.injections)
+    if machine is not None:
+        result.console = machine.uart.text()
+        result.trap_log = tuple(
+            (e.cause, e.is_interrupt, e.handler, e.detail)
+            for e in machine.stats.events
+        )
+    if miralis is not None and miralis.watchdog is not None:
+        result.recoveries = dict(miralis.watchdog.counters)
+        result.quarantined = any(miralis.watchdog.quarantined)
+    return result

@@ -1,0 +1,211 @@
+"""Deterministic, seedable fault injection.
+
+The paper's robustness claim (§5, §6.5) is that the monitor survives a
+buggy or hostile firmware.  To *test* that claim the simulator needs a way
+to provoke the failure modes systematically: corrupted CSR writes,
+transient MMIO bus errors, decoder glitches, and runaway firmware loops.
+
+A :class:`FaultInjector` is parameterized by a :class:`FaultPlan` — a set
+of :class:`FaultSpec` triggers with probability schedules — and a seed.
+Every decision draws from one ``random.Random(seed)`` stream in program
+order, so a given (plan, seed) pair produces the *same* injections on
+every run: two runs of the same chaos scenario yield identical trap logs,
+and every finding replays exactly.
+
+Injection sites (wired in by :meth:`Machine.install_fault_injector` and
+the monitor):
+
+``vcsr-write``
+    A value being written to a virtual CSR by the instruction emulator is
+    corrupted (bit flips or an explicit XOR mask).
+``mmio``
+    A device access (physical CLINT/PLIC/UART, or the virtual CLINT)
+    raises a transient bus error, surfacing as an access fault.
+``decode``
+    A decoded firmware instruction is flipped to an illegal one before
+    emulation.
+``stall``
+    A trapped firmware instruction is resumed *without* emulation, so the
+    firmware re-executes it forever — a runaway trap loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import Counter
+from typing import Callable, Optional
+
+U64 = (1 << 64) - 1
+
+#: The injection sites an injector understands.
+SITES = ("vcsr-write", "mmio", "decode", "stall")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault trigger: where it applies, and its probability schedule."""
+
+    #: Injection site, one of :data:`SITES`.
+    site: str
+    #: Chance of injecting at each matching decision point.
+    probability: float = 1.0
+    #: Skip the first N decision points at this site (lets boot complete
+    #: before the faults begin, or targets a specific access).
+    after: int = 0
+    #: Maximum number of injections from this spec (None = unlimited).
+    limit: Optional[int] = None
+    #: ``mmio`` only: restrict to one device (clint/plic/uart/vclint).
+    device: Optional[str] = None
+    #: ``mmio`` only: restrict to "read" or "write" accesses.
+    kind: Optional[str] = None
+    #: ``vcsr-write`` only: restrict to one CSR address.
+    csr: Optional[int] = None
+    #: ``vcsr-write`` only: bits to flip in the written value.  When None
+    #: a single pseudo-random bit is flipped instead.
+    xor_mask: Optional[int] = None
+    #: Restrict to one hart (None = any).
+    hart: Optional[int] = None
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def matches(self, **attrs) -> bool:
+        for field in ("device", "kind", "csr", "hart"):
+            want = getattr(self, field)
+            if want is not None and attrs.get(field) != want:
+                return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A named set of fault triggers."""
+
+    name: str
+    specs: tuple[FaultSpec, ...] = ()
+    description: str = ""
+
+    @property
+    def sites(self) -> frozenset[str]:
+        return frozenset(spec.site for spec in self.specs)
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionEvent:
+    """One committed injection (for reporting and determinism checks)."""
+
+    site: str
+    index: int  # decision index at this site when the fault fired
+    detail: str
+
+
+class FaultInjector:
+    """Seeded fault source consulted at each hook point.
+
+    Decision order is the simulator's deterministic execution order, and
+    all randomness comes from one seeded stream, so the injector itself is
+    fully deterministic: ``FaultInjector(plan, seed)`` makes identical
+    choices on identical runs.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._site_counts: Counter[str] = Counter()
+        self._spec_hits: Counter[int] = Counter()
+        self.injections: list[InjectionEvent] = []
+        self._sites = plan.sites
+
+    # -- decision engine ---------------------------------------------------
+
+    def _decide(self, site: str, detail: str, **attrs) -> Optional[FaultSpec]:
+        """Advance the decision point at ``site``; the firing spec or None."""
+        if site not in self._sites:
+            return None
+        index = self._site_counts[site]
+        self._site_counts[site] += 1
+        for spec_index, spec in enumerate(self.plan.specs):
+            if spec.site != site or not spec.matches(**attrs):
+                continue
+            if index < spec.after:
+                continue
+            if spec.limit is not None and self._spec_hits[spec_index] >= spec.limit:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._spec_hits[spec_index] += 1
+            self.injections.append(InjectionEvent(site, index, detail))
+            return spec
+        return None
+
+    # -- site-specific entry points ---------------------------------------
+
+    def corrupt_vcsr_write(self, hartid: int, csr: int, value: int) -> int:
+        """Possibly corrupt a value about to be written to a virtual CSR."""
+        spec = self._decide(
+            "vcsr-write", f"csr={csr:#x}", hart=hartid, csr=csr
+        )
+        if spec is None:
+            return value
+        if spec.xor_mask is not None:
+            corrupted = (value ^ spec.xor_mask) & U64
+        else:
+            corrupted = (value ^ (1 << self._rng.getrandbits(6))) & U64
+        # Patch the recorded detail with the actual corruption.
+        last = self.injections[-1]
+        self.injections[-1] = dataclasses.replace(
+            last, detail=f"csr={csr:#x} {value:#x}->{corrupted:#x}"
+        )
+        return corrupted
+
+    def mmio_error(self, device: str, kind: str, offset: int,
+                   hartid: Optional[int] = None) -> bool:
+        """Whether this device access suffers a transient bus error."""
+        return self._decide(
+            "mmio", f"{device}:{kind}@{offset:#x}",
+            device=device, kind=kind, hart=hartid,
+        ) is not None
+
+    def flip_instruction(self, hartid: int, mnemonic: str) -> bool:
+        """Whether a decoded firmware instruction is flipped to illegal."""
+        return self._decide("decode", f"flip:{mnemonic}", hart=hartid) is not None
+
+    def stall_firmware(self, hartid: int) -> bool:
+        """Whether the current firmware trap resumes without emulation."""
+        return self._decide("stall", f"hart{hartid}", hart=hartid) is not None
+
+    # -- hook factories ----------------------------------------------------
+
+    def device_hook(self, device: str) -> Callable[[str, int, int], bool]:
+        """A ``fault_hook`` for a physical device (see :mod:`repro.hart`)."""
+
+        def hook(kind: str, offset: int, size: int) -> bool:
+            return self.mmio_error(device, kind, offset)
+
+        return hook
+
+    def csr_hook(self, hartid: int) -> Callable[[int, int], int]:
+        """A ``csr_write_hook`` for a :class:`VirtContext`."""
+
+        def hook(csr: int, value: int) -> int:
+            return self.corrupt_vcsr_write(hartid, csr, value)
+
+        return hook
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "plan": self.plan.name,
+            "seed": self.seed,
+            "decisions": dict(self._site_counts),
+            "injections": [
+                f"{event.site}[{event.index}]: {event.detail}"
+                for event in self.injections
+            ],
+        }

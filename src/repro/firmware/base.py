@@ -252,6 +252,12 @@ class BaseFirmware(GuestProgram):
 
     def panic(self, ctx: GuestContext, message: str) -> None:
         self.console_write(ctx, f"{self.name}: PANIC: {message}\n")
+        hook = self.machine.firmware_panic_hook
+        if hook is not None:
+            # The monitor's watchdog may recover the firmware instead of
+            # letting the panic take the machine down; if it does, the
+            # call does not return (FirmwareRecovered unwinds this frame).
+            hook(ctx.hart, message)
         self.machine.halt(f"firmware panic: {message}")
 
     # -- SBI dispatch ----------------------------------------------------

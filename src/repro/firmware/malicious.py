@@ -97,17 +97,30 @@ class MaliciousFirmware(OpenSbiFirmware):
         handler(ctx, call)
 
     def _attack_read_os_memory(self, ctx: GuestContext, call: SbiCall) -> None:
-        """Confidentiality: read a secret out of OS memory."""
+        """Confidentiality: read a secret out of OS memory.
+
+        Under graceful containment (``halt_on_violation=False``) a denied
+        load is neutralized to a constant 0, so the rootkit validates its
+        loot: only a non-trivial value counts as exfiltration.
+        """
         value = ctx.load(self.os_secret_address, size=8)
         self.outcome.leaked_value = value
-        self.outcome.succeeded = True
-        self.outcome.note = f"read {value:#x} from OS memory"
+        self.outcome.succeeded = value != 0
+        self.outcome.note = (
+            f"read {value:#x} from OS memory" if value != 0
+            else "read neutralized to 0"
+        )
 
     def _attack_write_os_memory(self, ctx: GuestContext, call: SbiCall) -> None:
-        """Integrity: patch OS memory (rootkit implant)."""
-        ctx.store(self.os_secret_address, 0x4141_4141_4141_4141, size=8)
-        self.outcome.succeeded = True
-        self.outcome.note = "overwrote OS memory"
+        """Integrity: patch OS memory (rootkit implant), then verify."""
+        pattern = 0x4141_4141_4141_4141
+        ctx.store(self.os_secret_address, pattern, size=8)
+        readback = ctx.load(self.os_secret_address, size=8)
+        self.outcome.succeeded = readback == pattern
+        self.outcome.note = (
+            "overwrote OS memory" if readback == pattern
+            else "write did not stick"
+        )
 
     def _attack_remap_pmp_window(self, ctx: GuestContext, call: SbiCall) -> None:
         """Reconfigure PMP 0 as a TOR window over all memory, then read."""
@@ -116,8 +129,11 @@ class MaliciousFirmware(OpenSbiFirmware):
         ctx.csrw(c.CSR_PMPCFG0, cfg)
         value = ctx.load(self.os_secret_address, size=8)
         self.outcome.leaked_value = value
-        self.outcome.succeeded = True
-        self.outcome.note = f"PMP remap leaked {value:#x}"
+        self.outcome.succeeded = value != 0
+        self.outcome.note = (
+            f"PMP remap leaked {value:#x}" if value != 0
+            else "PMP remap read neutralized"
+        )
 
     def _attack_pmp_out_of_range(self, ctx: GuestContext, call: SbiCall) -> None:
         """Write past the virtual PMP count (the §6.5 Miralis bug class)."""

@@ -78,6 +78,9 @@ class ZephyrFirmware(GuestProgram):
             iterations += 1
             if iterations > watchdog:
                 self.test_log.append("watchdog-stall")
+                hook = self.machine.firmware_panic_hook
+                if hook is not None:
+                    hook(ctx.hart, "zephyr: tick interrupt lost")
                 self.machine.halt("zephyr: tick interrupt lost (stall)")
                 return
             ran_any = False
@@ -102,6 +105,9 @@ class ZephyrFirmware(GuestProgram):
             self._arm_tick(ctx, hartid)
         else:
             self.test_log.append(f"unexpected-trap:{cause:#x}")
+            hook = self.machine.firmware_panic_hook
+            if hook is not None:
+                hook(ctx.hart, f"zephyr: unexpected trap {cause:#x}")
             self.machine.halt("zephyr: unexpected trap")
             return
         ctx.mret()

@@ -59,10 +59,15 @@ class Clint:
         # exact, not an approximation — unlike msip, whose rising edge also
         # triggers remote-hart servicing and must never be filtered.
         self._mtip_level: list[bool | None] = [None] * num_harts
+        #: Fault-injection hook: ``hook(kind, offset, size) -> bool``;
+        #: True makes the access fail with a transient bus error.
+        self.fault_hook = None
 
     # -- device interface ----------------------------------------------
 
     def read(self, offset: int, size: int) -> int:
+        if self.fault_hook is not None and self.fault_hook("read", offset, size):
+            raise BusError(f"clint: transient bus fault reading offset {offset:#x}")
         register_base, hart, byte = self._locate(offset, size)
         if register_base == MTIME_OFFSET:
             register = self.time_source()
@@ -73,6 +78,8 @@ class Clint:
         return (register >> (8 * byte)) & ((1 << (8 * size)) - 1)
 
     def write(self, offset: int, size: int, value: int) -> None:
+        if self.fault_hook is not None and self.fault_hook("write", offset, size):
+            raise BusError(f"clint: transient bus fault writing offset {offset:#x}")
         register_base, hart, byte = self._locate(offset, size)
         if register_base == MTIME_OFFSET:
             # mtime is writable on real CLINTs; the simulated clock is

@@ -8,6 +8,7 @@ xRETs, world switches) between them.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right, insort
 from typing import Optional, Protocol, Union
 
@@ -16,7 +17,13 @@ from repro.hart.cycles import cycle_model_for, cycles_to_mtime
 from repro.hart.hart import Hart
 from repro.hart.memory import Ram, SystemBus
 from repro.hart.plic import Plic
-from repro.hart.program import GuestProgram, MachineHalted, ProtocolError, Region
+from repro.hart.program import (
+    FirmwareRecovered,
+    GuestProgram,
+    MachineHalted,
+    ProtocolError,
+    Region,
+)
 from repro.hart.stats import TrapStats
 from repro.hart.uart import Uart
 from repro.isa.constants import IRQ_MEI, IRQ_MSI, IRQ_MTI
@@ -94,6 +101,15 @@ class Machine:
         #: Installed by the VFM: intercepts HSM hart_start so secondary
         #: harts boot through the monitor instead of directly into S-mode.
         self.hart_start_hook = None
+        #: Installed by the VFM's watchdog: consulted by firmware ``panic``
+        #: before the machine halts, so the monitor can recover instead.
+        self.firmware_panic_hook = None
+        #: Active :class:`~repro.faults.FaultInjector`, if any.
+        self.fault_injector = None
+        #: Wall-clock deadline (``time.monotonic()`` value) after which
+        #: dispatching raises :class:`ProtocolError`.  Used by the fuzzer
+        #: to turn a diverging case into a reported finding.
+        self.wall_deadline: Optional[float] = None
 
     # -- clock ----------------------------------------------------------
 
@@ -169,11 +185,25 @@ class Machine:
         self.halted = True
         self.halt_reason = reason
 
+    def install_fault_injector(self, injector) -> None:
+        """Attach (or with None, detach) a fault injector to the devices.
+
+        The monitor additionally consults ``self.fault_injector`` for the
+        vCSR-write, decode, stall, and virtual-CLINT sites.
+        """
+        self.fault_injector = injector
+        for name, device in (("clint", self.clint), ("plic", self.plic),
+                             ("uart", self.uart)):
+            device.fault_hook = injector.device_hook(name) if injector else None
+
     def dispatch_current(self, hart: Hart) -> None:
         """Dispatch whichever program/handler owns the hart's current pc."""
         self._dispatches += 1
         if self._dispatches > self.max_dispatches:
             raise ProtocolError("dispatch limit exceeded (runaway control flow)")
+        if (self.wall_deadline is not None and self._dispatches % 64 == 0
+                and time.monotonic() > self.wall_deadline):
+            raise ProtocolError("wall-clock budget exceeded (diverging run)")
         owner = self.owner_of(hart.state.pc)
         if owner is None:
             raise ProtocolError(
@@ -211,6 +241,10 @@ class Machine:
                     if hart.state.pc in resume_pcs:
                         break
                     raise
+                except FirmwareRecovered:
+                    # The watchdog reset the firmware context; continue
+                    # dispatching from the recovered pc.
+                    continue
         finally:
             stack.pop()
 
@@ -224,7 +258,10 @@ class Machine:
             hart.state.pc = entry
         try:
             while not self.halted:
-                self.dispatch_current(hart)
+                try:
+                    self.dispatch_current(hart)
+                except FirmwareRecovered:
+                    continue
         except MachineHalted:
             pass
         return self.halt_reason or "halted"
@@ -265,7 +302,10 @@ class Machine:
         for _ in range(max_dispatches):
             if hart.parked_pc is not None or self.halted:
                 return
-            self.dispatch_current(hart)
+            try:
+                self.dispatch_current(hart)
+            except FirmwareRecovered:
+                continue
         raise ProtocolError(f"hart {hart.hartid} never parked after start")
 
     def park(self, hart: Hart) -> None:

@@ -39,6 +39,9 @@ class Plic:
         self.enable = [0] * num_harts
         self.threshold = [0] * num_harts
         self.claimed = 0
+        #: Fault-injection hook: ``hook(kind, offset, size) -> bool``;
+        #: True makes the access fail with a transient bus error.
+        self.fault_hook = None
 
     # -- interrupt sources -----------------------------------------------
 
@@ -65,6 +68,8 @@ class Plic:
     # -- device interface -------------------------------------------------
 
     def read(self, offset: int, size: int) -> int:
+        if self.fault_hook is not None and self.fault_hook("read", offset, size):
+            raise BusError(f"plic: transient bus fault reading offset {offset:#x}")
         if size != 4:
             raise BusError(f"PLIC requires 4-byte accesses, got {size}")
         if PRIORITY_BASE <= offset < PRIORITY_BASE + 4 * MAX_SOURCES:
@@ -85,6 +90,8 @@ class Plic:
         return source
 
     def write(self, offset: int, size: int, value: int) -> None:
+        if self.fault_hook is not None and self.fault_hook("write", offset, size):
+            raise BusError(f"plic: transient bus fault writing offset {offset:#x}")
         if size != 4:
             raise BusError(f"PLIC requires 4-byte accesses, got {size}")
         if PRIORITY_BASE <= offset < PRIORITY_BASE + 4 * MAX_SOURCES:

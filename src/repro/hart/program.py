@@ -44,6 +44,20 @@ class ProtocolError(Exception):
     """A guest program or handler violated the control-transfer protocol."""
 
 
+class FirmwareRecovered(Exception):
+    """The watchdog recovered (or quarantined) a failed firmware activation.
+
+    Raised by the monitor's watchdog to abandon the Python frames of a
+    wedged firmware instruction stream, exactly as a hardware reset of the
+    vM-mode context abandons its architectural state.  The machine's
+    dispatch loops catch it and continue from the recovered pc.
+    """
+
+    def __init__(self, reason: str = "recovered"):
+        self.reason = reason
+        super().__init__(reason)
+
+
 @dataclasses.dataclass(frozen=True)
 class Region:
     """A named physical address range owned by a program or host handler."""
@@ -228,7 +242,10 @@ class GuestContext:
                 # design: run that handler once and unwind — the calling
                 # program's handler function must treat xRET as its final
                 # action, mirroring real trap-handler code.
-                self.machine.dispatch_current(self.hart)
+                try:
+                    self.machine.dispatch_current(self.hart)
+                except FirmwareRecovered:
+                    pass
                 return outcome
             # The trap has been delivered architecturally; dispatch handlers
             # until control returns either to this very instruction

@@ -23,8 +23,13 @@ class Uart:
         self.base = base
         self.size = UART_SIZE
         self.output = bytearray()
+        #: Fault-injection hook: ``hook(kind, offset, size) -> bool``;
+        #: True makes the access fail with a transient bus error.
+        self.fault_hook = None
 
     def read(self, offset: int, size: int) -> int:
+        if self.fault_hook is not None and self.fault_hook("read", offset, size):
+            raise BusError(f"uart: transient bus fault reading offset {offset:#x}")
         if size != 1:
             raise BusError(f"UART requires byte accesses, got {size}")
         if offset == LSR:
@@ -34,6 +39,8 @@ class Uart:
         return 0
 
     def write(self, offset: int, size: int, value: int) -> None:
+        if self.fault_hook is not None and self.fault_hook("write", offset, size):
+            raise BusError(f"uart: transient bus fault writing offset {offset:#x}")
         if size != 1:
             raise BusError(f"UART requires byte accesses, got {size}")
         if offset == RBR_THR:

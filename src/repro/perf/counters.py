@@ -86,6 +86,11 @@ def profile_report(machine, meter: Optional[StepMeter] = None) -> str:
     if meter is not None and meter.elapsed > 0:
         lines.append(f"wall seconds:         {meter.elapsed:.3f}")
         lines.append(f"steps/sec:            {meter.steps_per_second:,.0f}")
+    recovery = getattr(machine, "recovery_stats", None)
+    if recovery:
+        lines.append("-- firmware recovery " + "-" * 39)
+        for name in sorted(recovery):
+            lines.append(f"{name:<22}{recovery[name]}")
     lines.append("-- caches " + "-" * 50)
     bus = getattr(machine, "spec_bus", None)
     if bus is not None and hasattr(bus, "device_lookup_hits"):

@@ -33,6 +33,7 @@ from repro.isa.instructions import IllegalInstructionError
 from repro.policy.interface import PolicyAction, PolicyModule
 from repro.sbi.spec_registry import allowed_read_registers, allowed_write_registers
 from repro.sbi.types import SbiCall
+from repro.spec.step import BusError
 
 U64 = (1 << 64) - 1
 
@@ -222,19 +223,26 @@ class FirmwareSandboxPolicy(PolicyModule):
         if not (instr.is_load or instr.is_store):
             return False
         size = instr.memory_size
-        if instr.is_load:
-            value = 0
-            for i in range(size):
-                value |= machine.spec_bus.read(address + i, 1) << (8 * i)
-            if instr.mnemonic in ("lb", "lh", "lw"):
-                sign = 1 << (size * 8 - 1)
-                if value & sign:
-                    value |= U64 & ~((1 << (size * 8)) - 1)
-            hart.state.set_xreg(instr.rd, value)
-        else:
-            value = hart.state.get_xreg(instr.rs2)
-            for i in range(size):
-                machine.spec_bus.write(address + i, 1, (value >> (8 * i)) & 0xFF)
+        try:
+            if instr.is_load:
+                value = 0
+                for i in range(size):
+                    value |= machine.spec_bus.read(address + i, 1) << (8 * i)
+                if instr.mnemonic in ("lb", "lh", "lw"):
+                    sign = 1 << (size * 8 - 1)
+                    if value & sign:
+                        value |= U64 & ~((1 << (size * 8)) - 1)
+                hart.state.set_xreg(instr.rd, value)
+            else:
+                value = hart.state.get_xreg(instr.rs2)
+                for i in range(size):
+                    machine.spec_bus.write(
+                        address + i, 1, (value >> (8 * i)) & 0xFF
+                    )
+        except BusError:
+            # Transient device fault mid-emulation: decline, letting the
+            # trap take its normal (re-injection) path.
+            return False
         hart.charge(self.miralis.config.costs.fastpath_misaligned + size)
         hart.state.pc = (mepc + 4) & U64
         self.emulated_misaligned += 1

@@ -118,8 +118,14 @@ def build_virtualized(
     start_secondaries: bool = False,
     keep_trap_events: bool = True,
     firmware_kwargs: Optional[dict] = None,
+    miralis_config: Optional[object] = None,
 ) -> System:
-    """Assemble the VFM deployment: Miralis in M-mode, firmware in vM-mode."""
+    """Assemble the VFM deployment: Miralis in M-mode, firmware in vM-mode.
+
+    ``miralis_config`` overrides the default :class:`MiralisConfig`
+    (e.g. to arm the firmware watchdog for chaos runs); when given, the
+    ``offload`` flag is ignored in favour of the config's own setting.
+    """
     from repro.core.config import MiralisConfig
     from repro.core.miralis import Miralis
     from repro.policy.default import DefaultPolicy
@@ -142,10 +148,11 @@ def build_virtualized(
         kernel_entry=kernel.entry_point,
         **(firmware_kwargs or {}),
     )
-    miralis_config = MiralisConfig(
-        offload_enabled=offload,
-        allowed_vendor_csrs=tuple(config.vendor_csrs),
-    )
+    if miralis_config is None:
+        miralis_config = MiralisConfig(
+            offload_enabled=offload,
+            allowed_vendor_csrs=tuple(config.vendor_csrs),
+        )
     miralis = Miralis(
         machine=machine,
         region=regions["miralis"],

@@ -19,12 +19,19 @@ import random
 from typing import Optional
 
 from repro.firmware.opensbi import OpenSbiFirmware
-from repro.hart.program import MachineHalted
+from repro.hart.program import MachineHalted, ProtocolError
 from repro.isa import constants as c
 from repro.spec.platform import PlatformConfig, VISIONFIVE2
 from repro.system import build_native, build_virtualized
 
 U64 = (1 << 64) - 1
+
+#: Per-case execution budgets: a diverging case must report its failing
+#: seed rather than hang the campaign.  The dispatch budget bounds
+#: simulated progress; the wall-clock budget bounds host time (e.g. a
+#: pathological Python-level loop that makes no dispatches).
+MAX_DISPATCHES_PER_CASE = 5_000_000
+WALL_SECONDS_PER_CASE = 20.0
 
 #: OS-level actions the fuzzer composes into scenarios.  Each entry is
 #: (name, weight); the weights roughly follow the Figure 3 mix so fuzzing
@@ -101,7 +108,11 @@ class Observation:
 
 
 def _run_scenario(scenario: Scenario, virtualized: bool,
-                  offload: bool = True) -> Observation:
+                  offload: bool = True,
+                  max_dispatches: int = MAX_DISPATCHES_PER_CASE,
+                  wall_seconds: float = WALL_SECONDS_PER_CASE) -> Observation:
+    import time
+
     observation = Observation()
     actions = scenario.actions()
 
@@ -177,12 +188,19 @@ def _run_scenario(scenario: Scenario, virtualized: bool,
     kwargs = {"offload": offload} if virtualized else {}
     system = builder(scenario.platform, firmware_class=OpenSbiFirmware,
                      workload=workload, keep_trap_events=False, **kwargs)
+    system.machine.max_dispatches = max_dispatches
+    system.machine.wall_deadline = time.monotonic() + wall_seconds
     try:
         observation.halt_reason = system.run()
     except MachineHalted as halted:
         observation.crashed = str(halted)
+    except ProtocolError as error:
+        # Step or wall-clock budget blown: the case diverged into a hang.
+        observation.crashed = f"budget: {error}"
     except Exception as error:  # a crash is itself a finding
         observation.crashed = f"{type(error).__name__}: {error}"
+    finally:
+        system.machine.wall_deadline = None
     observation.console = system.console_output.split("\n", 1)[-1]
     return observation
 
@@ -202,6 +220,9 @@ class FuzzFinding:
             for key in self.native
             if self.native[key] != self.virtualized[key]
         }
+        if not differing:  # identical hangs: both sides blew a budget
+            differing = {"crashed": (self.native["crashed"],
+                                     self.virtualized["crashed"])}
         return (
             f"seed={self.scenario.seed} offload={self.offload}: "
             f"{differing}"
@@ -210,25 +231,43 @@ class FuzzFinding:
 
 def fuzz_scenario(seed: int, length: int = 40,
                   platform: PlatformConfig = VISIONFIVE2,
-                  offload: bool = True) -> Optional[FuzzFinding]:
+                  offload: bool = True,
+                  max_dispatches: int = MAX_DISPATCHES_PER_CASE,
+                  wall_seconds: float = WALL_SECONDS_PER_CASE,
+                  ) -> Optional[FuzzFinding]:
     """Run one differential case; returns a finding or None."""
     scenario = Scenario(seed=seed, length=length, platform=platform)
-    native = _run_scenario(scenario, virtualized=False).normalized()
-    virtual = _run_scenario(scenario, virtualized=True,
-                            offload=offload).normalized()
-    if native != virtual:
+    native = _run_scenario(scenario, virtualized=False,
+                           max_dispatches=max_dispatches,
+                           wall_seconds=wall_seconds).normalized()
+    virtual = _run_scenario(scenario, virtualized=True, offload=offload,
+                            max_dispatches=max_dispatches,
+                            wall_seconds=wall_seconds).normalized()
+    blown = any(
+        obs["crashed"] is not None and obs["crashed"].startswith("budget")
+        for obs in (native, virtual)
+    )
+    if native != virtual or blown:
+        # A blown budget is always reported, even when both deployments
+        # hang identically — the failing seed must surface, not vanish
+        # into an equal-observation "pass".
         return FuzzFinding(scenario, offload, native, virtual)
     return None
 
 
 def fuzz_campaign(seeds: range, length: int = 40,
                   platform: PlatformConfig = VISIONFIVE2,
-                  offload: bool = True) -> list[FuzzFinding]:
+                  offload: bool = True,
+                  max_dispatches: int = MAX_DISPATCHES_PER_CASE,
+                  wall_seconds: float = WALL_SECONDS_PER_CASE,
+                  ) -> list[FuzzFinding]:
     """Run a seed range; returns all findings (empty = no divergence)."""
     findings = []
     for seed in seeds:
         finding = fuzz_scenario(seed, length=length, platform=platform,
-                                offload=offload)
+                                offload=offload,
+                                max_dispatches=max_dispatches,
+                                wall_seconds=wall_seconds)
         if finding is not None:
             findings.append(finding)
     return findings

@@ -80,3 +80,66 @@ class TestFuzzCommand:
     def test_fuzz_clean(self, capsys):
         assert main(["fuzz", "--count", "3", "--length", "15"]) == 0
         assert "0 divergence(s)" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_defaults_in_parser(self):
+        args = build_parser().parse_args(["boot", "--chaos"])
+        assert args.chaos and args.chaos_plan == "random"
+        assert args.chaos_seed == 0 and args.firmware == "opensbi"
+
+    def test_chaos_control_plan_ok(self, capsys):
+        assert main(["boot", "--chaos", "--chaos-plan", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:      OK" in out
+        assert "checkpoint:   True" in out
+
+    def test_chaos_stall_plan_recovers(self, capsys):
+        assert main(["boot", "--chaos", "--chaos-plan", "stall-loop",
+                     "--chaos-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:      OK" in out
+        assert "recoveries" in out
+
+    def test_chaos_zephyr(self, capsys):
+        assert main(["boot", "--chaos", "--firmware", "zephyr",
+                     "--chaos-plan", "decode-flip", "--chaos-seed", "3"]) == 0
+        assert "verdict:      OK" in capsys.readouterr().out
+
+    def test_chaos_unknown_firmware_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["boot", "--chaos",
+                                       "--firmware", "seabios"])
+
+
+class TestBootFailureDiagnosis:
+    def test_firmware_panic_exits_nonzero(self, capsys, monkeypatch):
+        from repro.firmware.opensbi import OpenSbiFirmware
+        import repro.system as system_module
+
+        class PanicBootFirmware(OpenSbiFirmware):
+            def boot(self, ctx):
+                self.panic(ctx, "synthetic boot failure")
+
+        monkeypatch.setitem(system_module.VENDOR_FIRMWARE, "visionfive2",
+                            PanicBootFirmware)
+        assert main(["boot"]) == 1
+        out = capsys.readouterr().out
+        assert "boot failed:" in out
+        assert "panic" in out
+
+    def test_diagnosis_is_one_line(self, capsys, monkeypatch):
+        from repro.firmware.opensbi import OpenSbiFirmware
+        import repro.system as system_module
+
+        class PanicBootFirmware(OpenSbiFirmware):
+            def boot(self, ctx):
+                self.panic(ctx, "synthetic boot failure")
+
+        monkeypatch.setitem(system_module.VENDOR_FIRMWARE, "visionfive2",
+                            PanicBootFirmware)
+        main(["boot"])
+        out = capsys.readouterr().out
+        diagnosis = [line for line in out.splitlines()
+                     if line.startswith("boot failed:")]
+        assert len(diagnosis) == 1

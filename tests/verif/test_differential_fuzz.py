@@ -114,3 +114,33 @@ class TestFuzzerSensitivity:
         with bugs.seeded("mret_mpp_not_cleared"):
             findings = fuzz_campaign(range(0, 4), length=20, offload=False)
         assert isinstance(findings, list)  # documented, not asserted-empty
+
+
+class TestExecutionBudgets:
+    """A diverging case must report its seed, not hang the campaign."""
+
+    def test_dispatch_budget_reports_budget_crash(self):
+        from repro.verif.fuzz import Scenario, _run_scenario
+
+        scenario = Scenario(seed=0, length=10)
+        observation = _run_scenario(scenario, virtualized=True,
+                                    max_dispatches=5)
+        assert observation.crashed is not None
+        assert observation.crashed.startswith("budget")
+
+    def test_wall_clock_budget_reports_budget_crash(self):
+        from repro.verif.fuzz import Scenario, _run_scenario
+
+        scenario = Scenario(seed=0, length=30)
+        observation = _run_scenario(scenario, virtualized=True,
+                                    wall_seconds=0.0)
+        assert observation.crashed is not None
+        assert observation.crashed.startswith("budget")
+
+    def test_identical_hangs_still_produce_a_finding(self):
+        finding = fuzz_scenario(0, length=10, max_dispatches=5)
+        assert finding is not None
+        assert "budget" in str(finding)
+
+    def test_generous_budgets_leave_clean_seeds_clean(self):
+        assert fuzz_scenario(50, length=20) is None
