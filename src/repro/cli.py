@@ -7,6 +7,7 @@ Subcommands:
   under the sandbox, and report containment.
 * ``verify`` — run the §6 verification tasks and print the report.
 * ``fuzz`` — run a native-vs-virtualized differential fuzzing campaign.
+* ``trace`` — inspect a trace file written by ``boot --trace=FILE``.
 """
 
 from __future__ import annotations
@@ -48,32 +49,68 @@ def _diagnose_halt(reason: str):
     return None
 
 
+def _make_tracer(args):
+    """A Tracer when ``--trace`` was given (with or without a file)."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.trace import Tracer
+
+    return Tracer()
+
+
+def _finish_trace(args, tracer) -> None:
+    if tracer is None:
+        return
+    from repro.trace import dump_trace, trace_summary
+
+    print(trace_summary(tracer))
+    if args.trace:  # --trace=FILE writes the Chrome trace document
+        dump_trace(tracer, args.trace)
+        print(f"trace written:    {args.trace}")
+
+
 def command_chaos(args: argparse.Namespace) -> int:
     from repro.faults import run_chaos
 
+    tracer = _make_tracer(args)
     result = run_chaos(
         args.firmware,
         plan=args.chaos_plan,
         seed=args.chaos_seed,
         platform=PLATFORMS[args.platform],
+        tracer=tracer,
     )
     if result.console:
         print(result.console)
     print(result.report())
+    _finish_trace(args, tracer)
     return 0 if result.ok else 1
 
 
 def command_boot(args: argparse.Namespace) -> int:
     from repro.hart.program import MachineHalted, ProtocolError
-    from repro.perf import StepMeter, profile_report
+    from repro.perf import StepMeter, cache_stats, profile_report
     from repro.system import build_native, build_virtualized
     from repro.policy import DefaultPolicy, FirmwareSandboxPolicy
 
     if args.chaos:
         return command_chaos(args)
+    if args.firmware in ("zephyr", "malicious"):
+        print(f"--firmware={args.firmware} requires --chaos "
+              f"(see also the 'attack' command)")
+        return 2
+    firmware_class = None  # platform vendor default
+    if args.firmware == "rustsbi":
+        from repro.firmware.rustsbi import RustSbiFirmware
+
+        firmware_class = RustSbiFirmware
     platform = PLATFORMS[args.platform]
+    # Snapshot the process-lifetime cache counters so --profile reports
+    # this run only, even when several boots share one process.
+    baseline = cache_stats()
     if args.native:
-        system = build_native(platform, workload=_demo_workload)
+        system = build_native(platform, workload=_demo_workload,
+                              firmware_class=firmware_class)
     else:
         policy = (
             FirmwareSandboxPolicy(
@@ -84,8 +121,10 @@ def command_boot(args: argparse.Namespace) -> int:
         )
         system = build_virtualized(
             platform, workload=_demo_workload, policy=policy,
-            offload=not args.no_offload,
+            offload=not args.no_offload, firmware_class=firmware_class,
         )
+    tracer = _make_tracer(args)
+    system.machine.tracer = tracer
     meter = StepMeter()
     try:
         with meter:
@@ -107,7 +146,8 @@ def command_boot(args: argparse.Namespace) -> int:
         print(f"emulated instrs:  {system.miralis.emulation_count}")
         print(f"fast-path hits:   {dict(system.miralis.offload.hits)}")
     if args.profile:
-        print(profile_report(system.machine, meter))
+        print(profile_report(system.machine, meter, baseline))
+    _finish_trace(args, tracer)
     diagnosis = _diagnose_halt(reason)
     if diagnosis is not None:
         print(f"boot failed: {diagnosis}")
@@ -219,6 +259,35 @@ def command_fuzz(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def command_trace(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        cause_table, load_trace, render_timeline, validate_chrome_trace,
+    )
+
+    try:
+        doc = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}")
+        return 2
+    errors = validate_chrome_trace(doc)
+    if args.validate:
+        if errors:
+            print(f"{args.file}: INVALID ({len(errors)} problem(s))")
+            for error in errors:
+                print(f"  - {error}")
+            return 1
+        print(f"{args.file}: valid ({len(doc.get('traceEvents', []))} events)")
+        return 0
+    if errors:
+        print(f"warning: trace failed validation ({len(errors)} problem(s); "
+              f"run with --validate for details)")
+    if args.timeline:
+        print(render_timeline(doc, last=args.last))
+    else:
+        print(cause_table(doc))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -248,7 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
     boot.add_argument("--firmware",
                       choices=["opensbi", "rustsbi", "zephyr", "malicious"],
                       default="opensbi",
-                      help="firmware payload for --chaos runs")
+                      help="firmware payload (zephyr/malicious need --chaos)")
+    boot.add_argument("--trace", nargs="?", const="", default=None,
+                      metavar="FILE",
+                      help="record trap-level trace events; with FILE, "
+                           "write a Chrome trace_event JSON document")
     boot.set_defaults(func=command_boot)
 
     attack = sub.add_parser("attack", help="run an adversarial firmware")
@@ -272,6 +345,18 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--length", type=int, default=30)
     fuzz.add_argument("--no-offload", action="store_true")
     fuzz.set_defaults(func=command_fuzz)
+
+    trace = sub.add_parser("trace", help="inspect a --trace=FILE document")
+    trace.add_argument("file", help="trace JSON written by boot --trace=FILE")
+    trace.add_argument("--timeline", action="store_true",
+                       help="print the event timeline instead of the "
+                            "per-cause breakdown")
+    trace.add_argument("--last", type=int, default=None, metavar="N",
+                       help="with --timeline, only the last N events")
+    trace.add_argument("--validate", action="store_true",
+                       help="validate the document against the "
+                            "repro-trace-v1 schema (exit 1 on failure)")
+    trace.set_defaults(func=command_trace)
 
     return parser
 

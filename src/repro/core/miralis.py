@@ -157,12 +157,26 @@ class Miralis:
         costs = self.config.costs
         model = hart.cycle_model
         csr_file = hart.state.csr
+        tracer = self.machine.tracer
+        # The trap event for this entry was recorded just before dispatch
+        # reached us; its handler annotation is final once we return.
+        entry_event = (
+            self.machine.stats.last_event if tracer is not None else None
+        )
         self._charge_host(hart, costs.dispatch)
         hart.charge(3 * model.csr_access)  # mcause/mepc/mtval reads
         mcause = csr_file.mcause
         mepc = csr_file.mepc
         mtval = csr_file.read(c.CSR_MTVAL)
         code = mcause & ~c.INTERRUPT_BIT
+
+        if self.world[hart.hartid] == World.OS:
+            # While the OS runs directly it reads/writes sip natively, so
+            # the physical SIP bits are authoritative.  A full world switch
+            # folds them into vctx.mip in enter_firmware, but the fast path
+            # skips that — refresh here so every handler (offload, policy,
+            # virtual-interrupt injection) sees a coherent virtual mip.
+            vctx.mip = (vctx.mip & ~c.SIP_MASK) | (csr_file.mip & c.SIP_MASK)
 
         if (self.watchdog is not None
                 and self.world[hart.hartid] == World.FIRMWARE):
@@ -187,6 +201,12 @@ class Miralis:
         elif hart.state.mode == c.M_MODE:
             # Fast-path or policy-handled trap: drop back to the OS.
             self._return_to_os(hart)
+        if tracer is not None:
+            tracer.trap_exit(
+                self.machine, hart.hartid,
+                entry_event.handler if entry_event is not None
+                else "unclassified",
+            )
         hart.charge(model.xret)
 
     # ------------------------------------------------------------------
@@ -263,6 +283,12 @@ class Miralis:
             detail=f"emulate:{instr.mnemonic}" if instr else "emulate:invalid",
         )
         self.machine.stats.note_firmware_emulation()
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.machine, "fw-emulate", hart.hartid,
+                what=instr.mnemonic if instr else "invalid",
+            )
         self.emulation_count += 1
         self._charge_host(hart, costs.emulate_instruction)
         if instr is None:
@@ -564,6 +590,9 @@ class Miralis:
     def _violation(self, hart, message: str) -> None:
         self.violations.append(message)
         self.machine.stats.annotate_last("miralis-violation", detail=message)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(self.machine, "violation", hart.hartid, what=message)
         if (self.watchdog is not None
                 and self.world[hart.hartid] == World.FIRMWARE):
             # Under the watchdog, firmware violations degrade gracefully:

@@ -36,6 +36,35 @@ class FastPath:
         self.timer_armed = [False] * self.machine.config.num_harts
 
     # ------------------------------------------------------------------
+    # Shared accounting
+    # ------------------------------------------------------------------
+
+    def _note(self, hart, name: str) -> None:
+        """Count one offload hit (stats, annotation, trace)."""
+        self.hits[name] += 1
+        stats = self.machine.stats
+        stats.note_fastpath()
+        stats.annotate_last("miralis-fastpath", detail=f"offload:{name}")
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.fastpath(self.machine, hart.hartid, name)
+
+    # The firmware observes interrupt state through the emulated CSR view
+    # (``vctx.mip``): a world-switched emulation of these traps ends with
+    # the firmware doing csrs/csrc on the virtual mip, so the offloaded
+    # mirror must update both the physical ``mip_sw`` *and* the virtual
+    # copy, or the monitor's own interrupt decisions (e.g.
+    # ``pending_virtual_interrupt`` while the OS runs) use stale state.
+
+    def _raise_sip(self, hart, vctx: VirtContext, bit: int) -> None:
+        hart.state.csr.mip_sw |= bit
+        vctx.mip |= bit
+
+    def _clear_sip(self, hart, vctx: VirtContext, bit: int) -> None:
+        hart.state.csr.mip_sw &= ~bit
+        vctx.mip &= ~bit
+
+    # ------------------------------------------------------------------
     # Exceptions from the OS
     # ------------------------------------------------------------------
 
@@ -44,7 +73,7 @@ class FastPath:
         if cause == c.TrapCause.ILLEGAL_INSTRUCTION:
             return self._handle_illegal(hart)
         if cause == c.TrapCause.ECALL_FROM_S:
-            return self._handle_sbi(hart)
+            return self._handle_sbi(hart, vctx)
         if cause in (
             c.TrapCause.LOAD_ADDRESS_MISALIGNED,
             c.TrapCause.STORE_ADDRESS_MISALIGNED,
@@ -70,9 +99,7 @@ class FastPath:
             return False
         hart.state.set_xreg(instr.rd, self.machine.read_mtime())
         hart.charge(self.costs.fastpath_time_read + hart.cycle_model.mmio_access)
-        self.hits["time-read"] += 1
-        self.machine.stats.note_fastpath()
-        self.machine.stats.annotate_last("miralis-fastpath", detail="offload:time-read")
+        self._note(hart, "time-read")
         self._resume_os_after(hart)
         return True
 
@@ -87,33 +114,29 @@ class FastPath:
         (sbi.LEGACY_SET_TIMER, 0),
     }
 
-    def _handle_sbi(self, hart) -> bool:
+    def _handle_sbi(self, hart, vctx: VirtContext) -> bool:
         call = SbiCall.from_regs(hart.state.xregs)
         key = (call.eid, 0 if call.eid in sbi.LEGACY_EXTENSIONS else call.fid)
         if key not in self._OFFLOADED_SBI:
             return False
         if call.eid in (sbi.EXT_TIMER, sbi.LEGACY_SET_TIMER):
-            ret = self._sbi_set_timer(hart, call.arg(0))
+            ret = self._sbi_set_timer(hart, vctx, call.arg(0))
             name = "set-timer"
         elif call.eid == sbi.EXT_IPI:
-            ret = self._sbi_send_ipi(hart, call.arg(0), call.arg(1))
+            ret = self._sbi_send_ipi(hart, vctx, call.arg(0), call.arg(1))
             name = "ipi"
         else:
-            ret = self._sbi_rfence(hart, call)
+            ret = self._sbi_rfence(hart, vctx, call)
             name = "rfence"
         error, value = ret.to_u64()
         hart.state.set_xreg(10, error)
         if call.eid not in sbi.LEGACY_EXTENSIONS:
             hart.state.set_xreg(11, value)
-        self.hits[name] += 1
-        self.machine.stats.note_fastpath()
-        self.machine.stats.annotate_last(
-            "miralis-fastpath", detail=f"offload:{name}"
-        )
+        self._note(hart, name)
         self._resume_os_after(hart)
         return True
 
-    def _sbi_set_timer(self, hart, deadline: int) -> SbiRet:
+    def _sbi_set_timer(self, hart, vctx: VirtContext, deadline: int) -> SbiRet:
         hartid = hart.hartid
         try:
             self.miralis.vclint.set_monitor_deadline(hartid, deadline)
@@ -124,7 +147,7 @@ class FastPath:
         self.timer_armed[hartid] = True
         # Clear the supervisor timer-pending bit; it is raised again when
         # the physical interrupt arrives (handled by the fast path too).
-        hart.state.csr.mip_sw &= ~c.MIP_STIP
+        self._clear_sip(hart, vctx, c.MIP_STIP)
         hart.charge(
             self.costs.fastpath_set_timer + hart.cycle_model.mmio_access
         )
@@ -141,11 +164,11 @@ class FastPath:
                 return None
         return targets
 
-    def _deliver_ipi(self, hart, targets: list[int]) -> None:
+    def _deliver_ipi(self, hart, vctx: VirtContext, targets: list[int]) -> None:
         for target in targets:
             if target == hart.hartid:
                 # Self-IPI: raise SSIP directly, no CLINT round trip.
-                hart.state.csr.mip_sw |= c.MIP_SSIP
+                self._raise_sip(hart, vctx, c.MIP_SSIP)
                 continue
             try:
                 self.machine.clint.write(0x0 + 4 * target, 4, 1)
@@ -153,22 +176,23 @@ class FastPath:
                 continue  # transient CLINT fault: the IPI is lost
             hart.charge(hart.cycle_model.mmio_access)
 
-    def _sbi_send_ipi(self, hart, hart_mask: int, mask_base: int) -> SbiRet:
+    def _sbi_send_ipi(self, hart, vctx: VirtContext, hart_mask: int,
+                      mask_base: int) -> SbiRet:
         targets = self._ipi_targets(hart_mask, mask_base)
         if targets is None:
             return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
         hart.charge(self.costs.fastpath_ipi)
-        self._deliver_ipi(hart, targets)
+        self._deliver_ipi(hart, vctx, targets)
         return SbiRet.success()
 
-    def _sbi_rfence(self, hart, call: SbiCall) -> SbiRet:
+    def _sbi_rfence(self, hart, vctx: VirtContext, call: SbiCall) -> SbiRet:
         # Reuses the IPI delivery machinery but charges the rfence class
         # cost only — delivery MMIO is still paid per remote target.
         targets = self._ipi_targets(call.arg(0), call.arg(1))
         if targets is None:
             return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
         hart.charge(self.costs.fastpath_rfence + hart.cycle_model.memory_fence)
-        self._deliver_ipi(hart, targets)
+        self._deliver_ipi(hart, vctx, targets)
         return SbiRet.success()
 
     # -- misaligned accesses -------------------------------------------------
@@ -202,11 +226,7 @@ class FastPath:
         except Exception:
             return False
         hart.charge(self.costs.fastpath_misaligned + size)
-        self.hits["misaligned"] += 1
-        self.machine.stats.note_fastpath()
-        self.machine.stats.annotate_last(
-            "miralis-fastpath", detail="offload:misaligned"
-        )
+        self._note(hart, "misaligned")
         self._resume_os_after(hart)
         return True
 
@@ -221,7 +241,7 @@ class FastPath:
             mtime = self.machine.read_mtime()
             if mtime >= self.miralis.vclint.monitor_mtimecmp[hartid]:
                 # The OS's deadline: raise STIP, park the monitor deadline.
-                hart.state.csr.mip_sw |= c.MIP_STIP
+                self._raise_sip(hart, vctx, c.MIP_STIP)
                 self.timer_armed[hartid] = False
                 try:
                     self.miralis.vclint.clear_monitor_deadline(hartid)
@@ -229,11 +249,7 @@ class FastPath:
                     pass  # transient CLINT fault: deadline stays parked
 
                 hart.charge(self.costs.fastpath_set_timer)
-                self.hits["timer-interrupt"] += 1
-                self.machine.stats.note_fastpath()
-                self.machine.stats.annotate_last(
-                    "miralis-fastpath", detail="offload:timer-interrupt"
-                )
+                self._note(hart, "timer-interrupt")
                 return True
         if irq == c.IRQ_MSI:
             # IPI forwarding: ack the CLINT, raise SSIP for the OS.
@@ -241,12 +257,8 @@ class FastPath:
                 self.machine.clint.write(0x0 + 4 * hartid, 4, 0)
             except BusError:
                 pass  # ack lost to a transient fault; SSIP still delivered
-            hart.state.csr.mip_sw |= c.MIP_SSIP
+            self._raise_sip(hart, vctx, c.MIP_SSIP)
             hart.charge(self.costs.fastpath_ipi + hart.cycle_model.mmio_access)
-            self.hits["ipi-interrupt"] += 1
-            self.machine.stats.note_fastpath()
-            self.machine.stats.annotate_last(
-                "miralis-fastpath", detail="offload:ipi-interrupt"
-            )
+            self._note(hart, "ipi-interrupt")
             return True
         return False

@@ -48,6 +48,11 @@ class VirtualClint:
     def set_monitor_deadline(self, hartid: int, deadline: int) -> None:
         self.monitor_mtimecmp[hartid] = deadline & U64
         self.program_physical_timer(hartid)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            op = "clear-monitor" if deadline & U64 == U64 else "arm-monitor"
+            tracer.emit(self.machine, "vclint", hartid,
+                        op=op, deadline=deadline & U64)
 
     def clear_monitor_deadline(self, hartid: int) -> None:
         self.set_monitor_deadline(hartid, U64)
@@ -78,6 +83,11 @@ class VirtualClint:
         self.accesses += 1
         offset = address - self.clint.base
         size = instr.memory_size
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(self.machine, "vclint", hart.hartid,
+                        op="load" if instr.is_load else "store",
+                        offset=offset, size=size)
         if instr.is_load:
             value = self._read(offset, size)
             if instr.mnemonic in ("lb", "lh", "lw") and size < 8:

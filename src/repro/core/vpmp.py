@@ -161,4 +161,9 @@ class PmpVirtualizer:
             if csr_file.pmpcfg[index] != value:
                 csr_file.pmpcfg[index] = value
                 writes += 1
+        if writes:
+            tracer = self.machine.tracer
+            if tracer is not None:
+                tracer.emit(self.machine, "vpmp", hart.hartid,
+                            world=world.name.lower(), writes=writes)
         return writes

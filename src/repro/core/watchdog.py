@@ -173,6 +173,12 @@ class FirmwareWatchdog:
     # Recovery
     # ------------------------------------------------------------------
 
+    def _trace(self, hartid: int, state: str, reason: str, **args) -> None:
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(self.machine, "watchdog", hartid,
+                        state=state, reason=reason, **args)
+
     def recover(self, hart, vctx, reason: str) -> None:
         """Abandon the current activation: retry it, or quarantine.
 
@@ -183,7 +189,11 @@ class FirmwareWatchdog:
         hartid = hart.hartid
         self.counters["recoveries"] += 1
         self.events.append((hartid, "recover", reason))
+        # annotate_last has move semantics (one annotation per trap event),
+        # so the authoritative per-kind totals live in recovery_counts.
+        self.machine.stats.note_recovery("recoveries")
         self.machine.stats.annotate_last("miralis-recovery", detail=reason)
+        self._trace(hartid, "recover", reason)
         self.consecutive_failures[hartid] += 1
         attempt = self.consecutive_failures[hartid]
         snapshot = self._snapshots[hartid]
@@ -193,6 +203,8 @@ class FirmwareWatchdog:
             self._quarantine(hart, vctx, reason)
         # Bounded exponential backoff, charged as monitor host work.
         self.counters["retries"] += 1
+        self.machine.stats.note_recovery("retries")
+        self._trace(hartid, "retry", reason, attempt=attempt)
         backoff = self.config.retry_backoff_cycles * (1 << (attempt - 1))
         self.miralis._charge_host(hart, backoff)
         vctx.restore(snapshot)
@@ -211,9 +223,14 @@ class FirmwareWatchdog:
         self.quarantined[hartid] = True
         self.counters["quarantines"] += 1
         self.events.append((hartid, "quarantine", reason))
+        self.machine.stats.note_recovery("quarantines")
         self.machine.stats.annotate_last(
             "miralis-recovery", detail=f"quarantine: {reason}"
         )
+        self._trace(hartid, "quarantine", reason)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.note_quarantine(reason)
         pending = self._pending[hartid]
         snapshot = self._snapshots[hartid]
         self._pending[hartid] = None

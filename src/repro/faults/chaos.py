@@ -51,6 +51,9 @@ class ChaosResult:
     checkpoint: bool = False
     quarantined: bool = False
     recoveries: dict = dataclasses.field(default_factory=dict)
+    #: The trap-statistics view of the same recovery activity
+    #: (``machine.stats.recovery_counts``); must agree with ``recoveries``.
+    stat_recoveries: dict = dataclasses.field(default_factory=dict)
     injections: int = 0
     trap_log: tuple = ()
     console: str = ""
@@ -122,6 +125,7 @@ def _run_sbi_chaos(
     injector: FaultInjector,
     platform: PlatformConfig,
     firmware: str,
+    tracer=None,
 ) -> tuple:
     """Boot an SBI firmware (OpenSBI/RustSBI/malicious) under the sandbox
     with the watchdog armed; returns (machine, miralis, halt_reason)."""
@@ -161,6 +165,7 @@ def _run_sbi_chaos(
     )
     machine = system.machine
     machine.max_dispatches = MAX_DISPATCHES
+    machine.tracer = tracer
     machine.install_fault_injector(injector)
     reason = system.run()
     result.checkpoint = bool(checkpoint)
@@ -171,6 +176,7 @@ def _run_zephyr_chaos(
     result: ChaosResult,
     injector: FaultInjector,
     platform: PlatformConfig,
+    tracer=None,
 ) -> tuple:
     """Boot the Zephyr RTOS in vM-mode under the watchdog.  There is no
     S-mode OS; the checkpoint is the RTOS test suite completing."""
@@ -193,6 +199,7 @@ def _run_zephyr_chaos(
     machine.register(zephyr)
     machine.register(miralis)
     machine.max_dispatches = MAX_DISPATCHES
+    machine.tracer = tracer
     machine.install_fault_injector(injector)
     reason = machine.boot(entry=miralis.region.base)
     result.checkpoint = zephyr.suite_passed() or "workload complete" in reason
@@ -204,6 +211,7 @@ def run_chaos(
     plan="random",
     seed: int = 0,
     platform: PlatformConfig = VISIONFIVE2,
+    tracer=None,
 ) -> ChaosResult:
     """Boot ``firmware`` under fault ``plan`` with ``seed``; never raises."""
     if firmware not in CHAOS_FIRMWARES:
@@ -217,11 +225,11 @@ def run_chaos(
     try:
         if firmware == "zephyr":
             machine, miralis, reason = _run_zephyr_chaos(
-                result, injector, platform
+                result, injector, platform, tracer=tracer
             )
         else:
             machine, miralis, reason = _run_sbi_chaos(
-                result, injector, platform, firmware
+                result, injector, platform, firmware, tracer=tracer
             )
         result.halt_reason = reason
     except Exception as exc:  # noqa: BLE001 — the whole point: no leaks
@@ -229,6 +237,7 @@ def run_chaos(
     result.injections = len(injector.injections)
     if machine is not None:
         result.console = machine.uart.text()
+        result.stat_recoveries = dict(machine.stats.recovery_counts)
         result.trap_log = tuple(
             (e.cause, e.is_interrupt, e.handler, e.detail)
             for e in machine.stats.events

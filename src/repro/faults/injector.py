@@ -120,6 +120,9 @@ class FaultInjector:
         self._spec_hits: Counter[int] = Counter()
         self.injections: list[InjectionEvent] = []
         self._sites = plan.sites
+        #: Set by ``Machine.install_fault_injector`` so committed
+        #: injections can be traced; the injector stays usable standalone.
+        self.machine = None
 
     # -- decision engine ---------------------------------------------------
 
@@ -140,6 +143,12 @@ class FaultInjector:
                 continue
             self._spec_hits[spec_index] += 1
             self.injections.append(InjectionEvent(site, index, detail))
+            machine = self.machine
+            if machine is not None and machine.tracer is not None:
+                machine.tracer.emit(
+                    machine, "fault-inject", attrs.get("hart") or 0,
+                    site=site, index=index, detail=detail, seed=self.seed,
+                )
             return spec
         return None
 

@@ -65,6 +65,12 @@ class Hart:
                 from_mode=None,  # mode before the trap is folded into cause
                 mtime=self.machine.read_mtime(),
             )
+            tracer = self.machine.tracer
+            if tracer is not None:
+                tracer.trap_entry(
+                    self.machine, self.hartid,
+                    outcome.trap.cause, outcome.trap.is_interrupt,
+                )
         self.charge(cost)
         self.instret += 1
         self.state.csr._simple[c.CSR_MINSTRET] = self.instret
@@ -92,6 +98,9 @@ class Hart:
             from_mode=from_mode,
             mtime=self.machine.read_mtime(),
         )
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.trap_entry(self.machine, self.hartid, trap.cause, True)
         return True
 
     def __repr__(self) -> str:

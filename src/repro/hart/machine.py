@@ -28,6 +28,7 @@ from repro.hart.stats import TrapStats
 from repro.hart.uart import Uart
 from repro.isa.constants import IRQ_MEI, IRQ_MSI, IRQ_MTI
 from repro.perf import toggle as _toggle
+from repro.perf.counters import register_stats_provider
 from repro.spec.platform import PlatformConfig
 
 
@@ -106,6 +107,18 @@ class Machine:
         self.firmware_panic_hook = None
         #: Active :class:`~repro.faults.FaultInjector`, if any.
         self.fault_injector = None
+        #: Active :class:`~repro.trace.Tracer`, if any.  None (the
+        #: default) keeps every emit site down to one branch.
+        self.tracer = None
+        bus = self.spec_bus
+        register_stats_provider(
+            "bus.devices",
+            lambda bus=bus: {
+                "hits": bus.device_lookup_hits,
+                "misses": bus.device_lookup_misses,
+            },
+            owner=self,
+        )
         #: Wall-clock deadline (``time.monotonic()`` value) after which
         #: dispatching raises :class:`ProtocolError`.  Used by the fuzzer
         #: to turn a diverging case into a reported finding.
@@ -192,6 +205,8 @@ class Machine:
         vCSR-write, decode, stall, and virtual-CLINT sites.
         """
         self.fault_injector = injector
+        if injector is not None:
+            injector.machine = self  # lets the injector emit trace events
         for name, device in (("clint", self.clint), ("plic", self.plic),
                              ("uart", self.uart)):
             device.fault_hook = injector.device_hook(name) if injector else None

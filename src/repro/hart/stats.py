@@ -51,6 +51,11 @@ class TrapStats:
         self.firmware_emulations = 0
         self.fastpath_hits = 0
         self.total_traps = 0
+        #: Recovery decisions (recoveries/retries/quarantines), counted
+        #: explicitly: ``annotate_last`` moves counts when a trap is
+        #: re-annotated, so handler counts cannot double as recovery
+        #: counts (several recoveries may share one trap event).
+        self.recovery_counts: Counter[str] = Counter()
         self._last: Optional[TrapEvent] = None
 
     def record_trap(self, hart, cause, is_interrupt, from_mode, mtime) -> TrapEvent:
@@ -93,6 +98,15 @@ class TrapStats:
     def note_fastpath(self) -> None:
         self.fastpath_hits += 1
 
+    def note_recovery(self, kind: str) -> None:
+        """Count one watchdog recovery decision (first-class, not moved)."""
+        self.recovery_counts[kind] += 1
+
+    @property
+    def last_event(self) -> Optional[TrapEvent]:
+        """The most recently recorded trap (also kept when events aren't)."""
+        return self._last
+
     # -- analysis helpers ------------------------------------------------
 
     def events_by_window(self, window_mtime: int) -> dict[int, Counter]:
@@ -126,4 +140,5 @@ class TrapStats:
         self.firmware_emulations = 0
         self.fastpath_hits = 0
         self.total_traps = 0
+        self.recovery_counts.clear()
         self._last = None

@@ -19,6 +19,9 @@ from repro.perf.counters import (
     cache_stats,
     profile_report,
     register_stats_provider,
+    reset_stats_providers,
+    stats_delta,
+    unregister_stats_provider,
 )
 from repro.perf.toggle import (
     cache_generation,
@@ -39,5 +42,8 @@ __all__ = [
     "profile_report",
     "register_cache",
     "register_stats_provider",
+    "reset_stats_providers",
     "set_caches_enabled",
+    "stats_delta",
+    "unregister_stats_provider",
 ]

@@ -1,0 +1,91 @@
+"""Human-readable views of a trace: summary, timeline, per-cause table."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.export import cause_counts
+
+
+def trace_summary(tracer) -> str:
+    """Short post-run summary for ``repro boot --trace``."""
+    from repro.trace.metrics import ratio_gauges
+
+    kinds = " ".join(
+        f"{kind}={count}" for kind, count in sorted(tracer.counts.items())
+    )
+    ratios = ratio_gauges(tracer)
+    lines = [
+        "-- trace " + "-" * 51,
+        f"events:           {tracer.total_events}"
+        + (f" ({tracer.dropped} dropped from ring)" if tracer.dropped else ""),
+        f"by kind:          {kinds or '(none)'}",
+        f"world-switch/trap: {ratios['world_switches_per_trap']}",
+        f"offload/trap:      {ratios['offload_hits_per_trap']}",
+    ]
+    if tracer.quarantine_dumps:
+        lines.append(f"quarantine dumps: {len(tracer.quarantine_dumps)}")
+    return "\n".join(lines)
+
+
+def render_timeline(doc: dict, last: Optional[int] = None) -> str:
+    """One line per event: ``[mtime] hN kind name detail``."""
+    events = doc.get("traceEvents", [])
+    if last is not None:
+        events = events[-last:]
+    lines = []
+    for event in events:
+        args = event.get("args", {})
+        detail = " ".join(
+            f"{key}={value}" for key, value in args.items()
+            if key not in ("seq", "instret") and value is not None
+        )
+        span = (f" dur={event['dur']}" if event.get("ph") == "X" else "")
+        lines.append(
+            f"[{event.get('ts', 0):>10}] h{event.get('tid', 0)} "
+            f"{event.get('cat', '?'):<12} {event.get('name', '?')}"
+            f"{span}{' ' + detail if detail else ''}"
+        )
+    if not lines:
+        return "(no events)"
+    return "\n".join(lines)
+
+
+def cause_table(doc: dict) -> str:
+    """The paper-style per-cause trap-cost breakdown.
+
+    One row per trap cause: how often it trapped, its share of all
+    traps, the mean guest-cycle handling latency (when the monitor
+    handled it), and the handler split (fast-path vs world switch vs
+    emulation).  Causes with no latency data were delegated past the
+    monitor (e.g. straight to S-mode).
+    """
+    other = doc.get("otherData", {})
+    counts = other.get("trap_causes") or cause_counts(doc)
+    metrics = other.get("metrics", {})
+    latency = metrics.get("trap_latency_cycles", {})
+    handlers = metrics.get("handlers", {})
+    total = sum(counts.values())
+    header = (
+        f"{'cause':<28}{'traps':>8}{'share':>8}{'avg cycles':>12}  handlers"
+    )
+    lines = ["-- per-cause trap breakdown " + "-" * 32, header]
+    for cause, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        share = f"{count / total * 100:5.1f}%" if total else "    -"
+        cause_latency = latency.get(cause)
+        mean = (f"{cause_latency['mean']:>12.1f}"
+                if cause_latency else f"{'-':>12}")
+        split = " ".join(
+            f"{handler}:{n}"
+            for handler, n in sorted(
+                handlers.get(cause, {}).items(), key=lambda kv: -kv[1]
+            )
+        ) or "-"
+        lines.append(f"{cause:<28}{count:>8}{share:>8}{mean}  {split}")
+    lines.append(f"{'total':<28}{total:>8}{'100.0%' if total else '-':>8}")
+    gauges = other.get("gauges", {})
+    if gauges:
+        lines.append("-- gauges " + "-" * 50)
+        for name in sorted(gauges):
+            lines.append(f"{name:<34}{gauges[name]}")
+    return "\n".join(lines)

@@ -24,6 +24,12 @@ def offload_parts():
     return system.miralis.offload, machine, machine.harts[0]
 
 
+@pytest.fixture
+def vctx(offload_parts):
+    offload, machine, hart = offload_parts
+    return offload.miralis.vctx[hart.hartid]
+
+
 def test_time_read_charge(offload_parts):
     offload, machine, hart = offload_parts
     word = encode(Instruction("csrrs", rd=5, rs1=0, csr=c.CSR_TIME))
@@ -35,53 +41,53 @@ def test_time_read_charge(offload_parts):
     )
 
 
-def test_set_timer_charge(offload_parts):
+def test_set_timer_charge(offload_parts, vctx):
     offload, machine, hart = offload_parts
     before = hart.cycles
-    ret = offload._sbi_set_timer(hart, machine.read_mtime() + 100_000)
+    ret = offload._sbi_set_timer(hart, vctx, machine.read_mtime() + 100_000)
     assert ret.is_success
     assert hart.cycles - before == (
         offload.costs.fastpath_set_timer + hart.cycle_model.mmio_access
     )
 
 
-def test_ipi_self_charge(offload_parts):
+def test_ipi_self_charge(offload_parts, vctx):
     offload, machine, hart = offload_parts
     before = hart.cycles
-    ret = offload._sbi_send_ipi(hart, 0b1, 0)  # hart 0 == the caller
+    ret = offload._sbi_send_ipi(hart, vctx, 0b1, 0)  # hart 0 == the caller
     assert ret.is_success
     assert hart.cycles - before == offload.costs.fastpath_ipi
 
 
-def test_ipi_remote_charge(offload_parts):
+def test_ipi_remote_charge(offload_parts, vctx):
     offload, machine, hart = offload_parts
     before = hart.cycles
-    ret = offload._sbi_send_ipi(hart, 0b10, 0)  # hart 1: one CLINT write
+    ret = offload._sbi_send_ipi(hart, vctx, 0b10, 0)  # hart 1: one CLINT write
     assert ret.is_success
     assert hart.cycles - before == (
         offload.costs.fastpath_ipi + hart.cycle_model.mmio_access
     )
 
 
-def test_rfence_self_charge(offload_parts):
+def test_rfence_self_charge(offload_parts, vctx):
     """The seeded double-charge: rfence must NOT also pay fastpath_ipi."""
     offload, machine, hart = offload_parts
     call = SbiCall(eid=sbi.EXT_RFENCE, fid=sbi.FN_RFENCE_FENCE_I, args=(0b1, 0))
     before = hart.cycles
-    ret = offload._sbi_rfence(hart, call)
+    ret = offload._sbi_rfence(hart, vctx, call)
     assert ret.is_success
     assert hart.cycles - before == (
         offload.costs.fastpath_rfence + hart.cycle_model.memory_fence
     )
 
 
-def test_rfence_remote_charge(offload_parts):
+def test_rfence_remote_charge(offload_parts, vctx):
     offload, machine, hart = offload_parts
     call = SbiCall(
         eid=sbi.EXT_RFENCE, fid=sbi.FN_RFENCE_SFENCE_VMA, args=(0b10, 0)
     )
     before = hart.cycles
-    ret = offload._sbi_rfence(hart, call)
+    ret = offload._sbi_rfence(hart, vctx, call)
     assert ret.is_success
     assert hart.cycles - before == (
         offload.costs.fastpath_rfence

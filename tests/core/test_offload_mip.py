@@ -1,0 +1,96 @@
+"""Fast-path offload must keep the firmware-visible mip view coherent.
+
+The offload handlers update the physical ``mip_sw`` mirror directly
+(that is the whole point: no world switch), but the virtualized firmware
+still observes interrupt state through the emulated CSR path
+(``read_csr(vctx, CSR_MIP)``).  A world-switched emulation of the same
+trap would have updated the virtual ``mip`` (the firmware handler does
+``csrs``/``csrc`` on the virtual CSR), so any divergence between the two
+views means the next world switch resumes the firmware with stale
+interrupt state.
+
+The test drives each of the five offloaded causes from the OS workload
+and samples both views at every step: they must agree on the S-level
+bits at all times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csr_emul import read_csr
+from repro.isa import constants as c
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+
+def _sample(system, samples, label):
+    hart = system.machine.harts[0]
+    vctx = system.miralis.vctx[0]
+    samples.append((
+        label,
+        hart.state.csr.mip & c.SIP_MASK,
+        read_csr(vctx, c.CSR_MIP) & c.SIP_MASK,
+    ))
+
+
+@pytest.fixture
+def offload_run():
+    """Boot the virtualized deployment with a workload that exercises all
+    five offloaded causes, sampling both mip views after each."""
+    holder = {}
+    samples = []
+
+    def workload(kernel, ctx):
+        system = holder["system"]
+        sample = lambda label: _sample(system, samples, label)  # noqa: E731
+        t0 = kernel.read_time(ctx)  # time-read
+        sample("time-read")
+        # Arm an immediate deadline, then wait for the offloaded
+        # timer-interrupt path to raise STIP.
+        kernel.sbi_set_timer(ctx, t0 + 10)
+        ctx.compute(20_000)
+        sample("timer-interrupt")
+        # Re-arming far in the future clears STIP (offloaded set-timer).
+        kernel.sbi_set_timer(ctx, t0 + 50_000_000)
+        sample("set-timer")
+        kernel.sbi_send_ipi(ctx, 0b1, 0)  # self-IPI raises SSIP
+        sample("ipi")
+        kernel.sbi_remote_fence_i(ctx, 0b1, 0)  # rfence
+        sample("rfence")
+        ctx.store(kernel.region.base + 0x9001, 0xBEEF, size=4)  # misaligned
+        sample("misaligned")
+
+    system = build_virtualized(VISIONFIVE2, workload=workload)
+    holder["system"] = system
+    system.run()
+    hits = dict(system.miralis.offload.hits)
+    return samples, hits
+
+
+def test_all_five_causes_offloaded(offload_run):
+    _, hits = offload_run
+    for name in ("time-read", "set-timer", "ipi", "rfence", "misaligned",
+                 "timer-interrupt"):
+        assert hits.get(name, 0) > 0, f"{name} was not offloaded: {hits}"
+
+
+def test_offload_keeps_virtual_mip_coherent(offload_run):
+    samples, _ = offload_run
+    mismatches = [
+        f"{label}: physical SIP={physical:#x} but virtual CSR view={virtual:#x}"
+        for label, physical, virtual in samples
+        if physical != virtual
+    ]
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_offload_ipi_raises_ssip_in_both_views(offload_run):
+    samples, _ = offload_run
+    by_label = {label: (physical, virtual)
+                for label, physical, virtual in samples}
+    physical, virtual = by_label["ipi"]
+    # A world-switched emulation ends with the firmware having done
+    # csrs(mip, SSIP); the offloaded path must leave the same state.
+    assert physical & c.MIP_SSIP
+    assert virtual & c.MIP_SSIP

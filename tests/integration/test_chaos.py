@@ -56,6 +56,48 @@ class TestChaosDeterminism:
         assert a.trap_log == b.trap_log
 
 
+class TestRecoveryAccounting:
+    """Watchdog counters and trap-statistics recovery counts must agree.
+
+    The watchdog counts its decisions in ``counters`` while the trap log
+    is annotated via ``annotate_last`` — which has move semantics, so
+    annotations alone under-count when several recoveries share one trap
+    event.  ``TrapStats.recovery_counts`` is the first-class mirror; this
+    suite pins the invariant that both views (and the ``ChaosResult``
+    surface) tell the same story.
+    """
+
+    @pytest.mark.parametrize("plan", CHAOS_SUITE)
+    def test_watchdog_and_stats_recovery_counts_agree(self, plan):
+        result = run_chaos("opensbi", plan, seed=MATRIX_SEED)
+        assert result.error is None, result.report()
+        for kind in ("recoveries", "retries", "quarantines"):
+            assert result.recoveries.get(kind, 0) == \
+                result.stat_recoveries.get(kind, 0), (
+                f"{plan}: watchdog counted "
+                f"{result.recoveries.get(kind, 0)} {kind} but the trap "
+                f"stats recorded {result.stat_recoveries.get(kind, 0)}"
+            )
+
+    @pytest.mark.parametrize("plan", ["mtvec-smash", "stall-loop"])
+    def test_every_recovery_is_a_retry_or_quarantine(self, plan):
+        result = run_chaos("opensbi", plan, seed=MATRIX_SEED)
+        recoveries = result.recoveries.get("recoveries", 0)
+        assert recoveries > 0, f"{plan} at seed {MATRIX_SEED} recovered nothing"
+        assert recoveries == (
+            result.recoveries.get("retries", 0)
+            + result.recoveries.get("quarantines", 0)
+        )
+
+    def test_detections_sum_to_recoveries(self):
+        result = run_chaos("opensbi", "stall-loop", seed=MATRIX_SEED)
+        detections = sum(
+            count for name, count in result.recoveries.items()
+            if name.startswith("detect:")
+        )
+        assert detections == result.recoveries.get("recoveries", 0)
+
+
 class TestChaosOutcomes:
     def test_stall_loop_ends_in_recorded_decision(self):
         result = run_chaos("opensbi", "stall-loop", seed=3)

@@ -1,0 +1,126 @@
+"""Regression tests for the perf stats-provider registry and StepMeter.
+
+Two seeded bugs live here:
+
+* the module-global ``_providers`` registry had no unregister/reset and
+  no per-machine keying, so a second boot in the same process reported
+  cumulative (stale) cache stats from the first run;
+* ``StepMeter.start()`` silently discarded a running interval, so
+  nested/double use under-reported elapsed time.
+"""
+
+from __future__ import annotations
+
+import gc
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    StepMeter,
+    cache_stats,
+    register_stats_provider,
+    unregister_stats_provider,
+)
+
+
+def _decode_hits(output: str) -> int:
+    match = re.search(r"isa\.decode.*?hits=(\d+)", output)
+    assert match, f"no isa.decode line in:\n{output}"
+    return int(match.group(1))
+
+
+class TestProviderRegistry:
+    def test_second_profile_reflects_second_run_only(self, capsys):
+        # The decode LRU is module-global: without a per-run baseline the
+        # second --profile report includes the first boot's hits as well
+        # (roughly double).  Identical boots must report identical-ish
+        # per-run numbers.
+        assert main(["boot", "--profile"]) == 0
+        first = _decode_hits(capsys.readouterr().out)
+        assert main(["boot", "--profile"]) == 0
+        second = _decode_hits(capsys.readouterr().out)
+        assert first > 0
+        assert second <= first * 1.2, (
+            f"second --profile report leaked stats from the first run "
+            f"(hits {first} -> {second})"
+        )
+
+    def test_unregister_removes_provider(self):
+        register_stats_provider("test.tmp", lambda: {"hits": 1, "misses": 0})
+        try:
+            assert "test.tmp" in cache_stats()
+        finally:
+            unregister_stats_provider("test.tmp")
+        assert "test.tmp" not in cache_stats()
+
+    def test_owned_provider_hidden_from_global_view(self):
+        class Owner:
+            pass
+
+        owner = Owner()
+        register_stats_provider("test.owned", lambda: {"hits": 2}, owner=owner)
+        try:
+            assert "test.owned" not in cache_stats()
+            assert cache_stats(owner=owner)["test.owned"] == {"hits": 2}
+        finally:
+            unregister_stats_provider("test.owned", owner=owner)
+
+    def test_owned_provider_dies_with_owner(self):
+        class Owner:
+            pass
+
+        owner = Owner()
+        register_stats_provider("test.mortal", lambda: {"hits": 3}, owner=owner)
+        assert cache_stats(owner=owner)["test.mortal"] == {"hits": 3}
+        del owner
+        gc.collect()
+        # The registry must not keep dead owners' providers alive.
+        assert all("test.mortal" not in stats
+                   for stats in (cache_stats(),))
+
+    def test_bus_provider_keyed_per_machine(self, vf2):
+        from repro.hart.machine import Machine
+
+        first = Machine(vf2)
+        second = Machine(vf2)
+        for _ in range(4):
+            first.spec_bus.read(vf2.uart_base + 5, 1)
+        second.spec_bus.read(vf2.uart_base + 5, 1)
+        stats_first = cache_stats(owner=first)["bus.devices"]
+        stats_second = cache_stats(owner=second)["bus.devices"]
+        assert stats_first["hits"] + stats_first["misses"] == 4
+        assert stats_second["hits"] + stats_second["misses"] == 1
+
+
+class TestStepMeter:
+    def test_double_start_raises(self):
+        meter = StepMeter()
+        meter.start()
+        with pytest.raises(RuntimeError):
+            meter.start()
+        meter.stop()
+        meter.start()  # restarting after stop stays legal
+        meter.stop()
+
+    def test_nested_with_raises(self):
+        meter = StepMeter()
+        with meter:
+            with pytest.raises(RuntimeError):
+                with meter:
+                    pass
+
+    def test_stop_without_start_is_noop(self):
+        meter = StepMeter()
+        meter.stop()
+        assert meter.elapsed == 0.0
+
+    def test_accumulates_across_intervals(self):
+        meter = StepMeter()
+        with meter:
+            pass
+        first = meter.elapsed
+        with meter:
+            pass
+        assert meter.elapsed >= first

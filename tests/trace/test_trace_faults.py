@@ -1,0 +1,75 @@
+"""Fault-injection tracing: every committed injection leaves a trace event,
+and quarantine dumps are deterministic (satellite of the tracing PR)."""
+
+import pytest
+
+from repro.faults import run_chaos
+from repro.trace import Tracer
+
+
+def _fault_events(tracer):
+    return [e for e in tracer.events() if e.kind == "fault-inject"]
+
+
+class TestInjectionTracing:
+    @pytest.mark.parametrize("plan", ["csr-chaos", "transient-mmio", "decode-flip"])
+    def test_every_injection_is_traced(self, plan):
+        tracer = Tracer()
+        result = run_chaos("opensbi", plan=plan, seed=3, tracer=tracer)
+        assert result.injections > 0, f"plan {plan} injected nothing at seed 3"
+        events = _fault_events(tracer)
+        assert len(events) == result.injections
+        for event in events:
+            assert event.args["seed"] == 3
+            assert event.args["site"] in ("vcsr-write", "mmio", "decode", "stall")
+
+    def test_trace_sites_match_injector_log(self):
+        tracer = Tracer()
+        result = run_chaos("opensbi", plan="csr-chaos", seed=3, tracer=tracer)
+        traced = [(e.args["site"], e.args["index"]) for e in _fault_events(tracer)]
+        # The injector patches vcsr-write details after the fact, so match
+        # on the (site, decision-index) identity rather than detail text.
+        assert result.injections == len(traced)
+        assert traced == sorted(traced, key=lambda pair: (pair[0], pair[1]))
+
+
+class TestQuarantineDumps:
+    def _run(self, plan, seed):
+        tracer = Tracer()
+        result = run_chaos("opensbi", plan=plan, seed=seed, tracer=tracer)
+        return result, tracer
+
+    def _quarantining_run(self):
+        for seed in range(6):
+            result, tracer = self._run("mtvec-smash", seed)
+            if result.quarantined:
+                return ("mtvec-smash", seed), tracer
+        pytest.fail("no mtvec-smash seed in 0..5 quarantined")
+
+    def test_quarantine_dumps_last_events(self):
+        _, tracer = self._quarantining_run()
+        assert tracer.quarantine_dumps
+        reason, events = tracer.quarantine_dumps[0]
+        assert reason
+        assert 0 < len(events) <= 64
+        assert events[-1].seq <= tracer.total_events
+
+    def test_quarantine_dump_is_deterministic(self):
+        (plan, seed), first = self._quarantining_run()
+        _, second = self._run(plan, seed)
+        assert len(first.quarantine_dumps) == len(second.quarantine_dumps)
+        for (reason_a, events_a), (reason_b, events_b) in zip(
+            first.quarantine_dumps, second.quarantine_dumps
+        ):
+            assert reason_a == reason_b
+            assert [e.to_tuple() for e in events_a] == [
+                e.to_tuple() for e in events_b
+            ]
+
+    def test_whole_trace_is_deterministic(self):
+        _, first = self._run("stall-loop", 1)
+        _, second = self._run("stall-loop", 1)
+        assert first.counts == second.counts
+        assert [e.to_tuple() for e in first.events()] == [
+            e.to_tuple() for e in second.events()
+        ]
