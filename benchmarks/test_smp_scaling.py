@@ -1,0 +1,108 @@
+"""SMP scaling benchmark: scheduler throughput at 1/2/4 harts.
+
+Boots the virtualized deployment under the deterministic SMP scheduler
+on the cross-hart rfence-storm workload and emits ``BENCH_smp.json`` at
+the repo root: interpreter steps/sec, per-hart checkpoint counts, and
+the fast-path hit profile at each hart count.  The load-bearing
+acceptance numbers are the IPI and remote-fence fast-path hits at ≥2
+harts — zero there would mean the scheduler degenerated back into a
+single-stream boot.
+
+Run directly (not part of tier-1):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_smp_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from benchmarks.conftest import once
+from repro import perf
+from repro.os_model.workloads import SMP_WORKLOADS
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+HART_COUNTS = (1, 2, 4)
+QUANTUM = 50
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_smp.json"
+
+
+def _boot_and_measure(harts: int) -> dict:
+    primary, secondary = SMP_WORKLOADS["rfence-storm"]()
+    system = build_virtualized(
+        dataclasses.replace(VISIONFIVE2, num_harts=harts),
+        workload=primary,
+        secondary_workload=secondary,
+        start_secondaries=harts > 1,
+        keep_trap_events=False,
+    )
+    meter = perf.StepMeter()
+    with meter:
+        halt = system.run_smp(quantum=QUANTUM)
+    meter.add_steps(sum(hart.instret for hart in system.machine.harts))
+    scheduler = system.machine.scheduler
+    hits = dict(system.miralis.offload.hits)
+    return {
+        "harts": harts,
+        "halt": halt,
+        "steps": meter.steps,
+        "steps_per_second": meter.steps_per_second,
+        "traps": system.machine.stats.total_traps,
+        "slices": scheduler.slices,
+        "checkpoints_per_hart": list(scheduler.steps),
+        "fastpath_hits": hits,
+        "ipi_hits": hits.get("ipi", 0) + hits.get("ipi-interrupt", 0),
+        "rfence_hits": hits.get("rfence", 0),
+    }
+
+
+def test_smp_scaling(benchmark, show):
+    def run_all():
+        perf.clear_caches()
+        return [_boot_and_measure(harts) for harts in HART_COUNTS]
+
+    runs = once(benchmark, run_all)
+
+    for run in runs:
+        assert "sbi system reset" in run["halt"], run
+        assert run["steps_per_second"] > 0
+        # Every hart made progress under the scheduler.
+        assert all(count > 0 for count in run["checkpoints_per_hart"])
+        if run["harts"] >= 2:
+            # The acceptance bar: real cross-hart traffic through the
+            # IPI and remote-fence fast paths.
+            assert run["ipi_hits"] > 0, run
+            assert run["rfence_hits"] > 0, run
+
+    report = {
+        "benchmark": "smp-scaling",
+        "platform": VISIONFIVE2.name,
+        "workload": "rfence-storm",
+        "quantum": QUANTUM,
+        "runs": [
+            {
+                "harts": run["harts"],
+                "steps": run["steps"],
+                "steps_per_second": round(run["steps_per_second"]),
+                "traps": run["traps"],
+                "slices": run["slices"],
+                "checkpoints_per_hart": run["checkpoints_per_hart"],
+                "ipi_hits": run["ipi_hits"],
+                "rfence_hits": run["rfence_hits"],
+                "fastpath_hits": run["fastpath_hits"],
+            }
+            for run in runs
+        ],
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [f"smp scaling (quantum={QUANTUM}) -> {RESULT_PATH.name}"]
+    for run in report["runs"]:
+        lines.append(
+            "  {harts} hart(s): {steps_per_second:,} steps/sec, "
+            "{traps} traps, ipi={ipi_hits} rfence={rfence_hits}".format(**run)
+        )
+    show("\n".join(lines))

@@ -79,6 +79,9 @@ def command_chaos(args: argparse.Namespace) -> int:
         seed=args.chaos_seed,
         platform=PLATFORMS[args.platform],
         tracer=tracer,
+        harts=args.harts,
+        quantum=args.quantum,
+        smp_jitter=args.smp_jitter,
     )
     if result.console:
         print(result.console)
@@ -105,12 +108,29 @@ def command_boot(args: argparse.Namespace) -> int:
 
         firmware_class = RustSbiFirmware
     platform = PLATFORMS[args.platform]
+    smp = args.harts is not None
+    if smp:
+        import dataclasses
+
+        platform = dataclasses.replace(platform, num_harts=args.harts)
+    # Pick the workloads.  --smp-workload selects a cross-hart generator;
+    # the demo workload stays the single-stream default.
+    primary, secondary = _demo_workload, None
+    if args.smp_workload is not None:
+        from repro.os_model.workloads import SMP_WORKLOADS
+
+        primary, secondary = SMP_WORKLOADS[args.smp_workload]()
     # Snapshot the process-lifetime cache counters so --profile reports
     # this run only, even when several boots share one process.
     baseline = cache_stats()
+    build_kwargs = dict(
+        workload=primary,
+        secondary_workload=secondary,
+        firmware_class=firmware_class,
+        start_secondaries=smp and platform.num_harts > 1,
+    )
     if args.native:
-        system = build_native(platform, workload=_demo_workload,
-                              firmware_class=firmware_class)
+        system = build_native(platform, **build_kwargs)
     else:
         policy = (
             FirmwareSandboxPolicy(
@@ -120,15 +140,21 @@ def command_boot(args: argparse.Namespace) -> int:
             else DefaultPolicy()
         )
         system = build_virtualized(
-            platform, workload=_demo_workload, policy=policy,
-            offload=not args.no_offload, firmware_class=firmware_class,
+            platform, policy=policy, offload=not args.no_offload,
+            **build_kwargs,
         )
     tracer = _make_tracer(args)
     system.machine.tracer = tracer
     meter = StepMeter()
     try:
         with meter:
-            reason = system.run()
+            if smp:
+                reason = system.run_smp(
+                    quantum=args.quantum, seed=args.smp_seed,
+                    jitter=args.smp_jitter,
+                )
+            else:
+                reason = system.run()
     except (MachineHalted, ProtocolError) as exc:
         # Normally ``boot`` returns the halt reason; an exception escaping
         # here means the run died mid-dispatch (e.g. a wedged firmware).
@@ -145,6 +171,12 @@ def command_boot(args: argparse.Namespace) -> int:
         print(f"world switches:   {stats.world_switches}")
         print(f"emulated instrs:  {system.miralis.emulation_count}")
         print(f"fast-path hits:   {dict(system.miralis.offload.hits)}")
+    scheduler = system.machine.scheduler
+    if scheduler is not None:
+        print(f"smp slices:       {scheduler.slices} "
+              f"(quantum={scheduler.quantum}, seed={scheduler.seed}, "
+              f"jitter={scheduler.jitter})")
+        print(f"smp steps/hart:   {scheduler.steps}")
     if args.profile:
         print(profile_report(system.machine, meter, baseline))
     _finish_trace(args, tracer)
@@ -322,6 +354,23 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="FILE",
                       help="record trap-level trace events; with FILE, "
                            "write a Chrome trace_event JSON document")
+    boot.add_argument("--harts", type=int, default=None, metavar="N",
+                      help="run N harts under the deterministic SMP "
+                           "scheduler (secondaries started, round-robin "
+                           "interleaving); default: single-stream boot")
+    boot.add_argument("--quantum", type=int, default=50,
+                      help="SMP slice length in checkpoints (default 50)")
+    boot.add_argument("--smp-seed", type=int, default=0,
+                      help="seed for the SMP schedule (default 0)")
+    boot.add_argument("--smp-jitter", type=int, default=0,
+                      help="seeded slice-length jitter for schedule "
+                           "fuzzing (default 0)")
+    boot.add_argument("--smp-workload",
+                      choices=["ipi-pingpong", "rfence-storm",
+                               "timer-contention"],
+                      default=None,
+                      help="cross-hart workload instead of the demo "
+                           "workload (pair with --harts)")
     boot.set_defaults(func=command_boot)
 
     attack = sub.add_parser("attack", help="run an adversarial firmware")

@@ -513,6 +513,21 @@ class Miralis:
             hart.state.pc = mepc
             self._return_to_os(hart)
             return
+        if (
+            irq == c.IRQ_MSI
+            and not in_os
+            and (self.config.offload_enabled or quarantined)
+            and not self.vclint.virtual_msip(hart.hartid)
+        ):
+            # Monitor-destined IPI (OS traffic) arriving while the hart
+            # runs virtual firmware: the firmware never set its virtual
+            # msip, so this MSI is not its business.  Ack and forward as
+            # SSIP now — leaving it pending would re-trap forever, since
+            # no virtual injection will ever clear the physical line.
+            # The SSIP reaches the OS at the next world switch.
+            self.offload.try_handle_interrupt(hart, vctx, irq)
+            hart.state.pc = mepc
+            return
         # Interrupt for the virtual firmware: refresh the virtual mip and
         # let the post-trap check inject it (possibly via a world switch).
         self._refresh_vmip(hart, vctx)
@@ -663,7 +678,7 @@ class Miralis:
             detail=f"{'irq' if is_interrupt else 'exc'}:{code}",
         )
         if self.watchdog is not None:
-            self.watchdog.counters["quarantined-served"] += 1
+            self.watchdog._count(hart.hartid, "quarantined-served")
         if is_interrupt:
             # The fast path forwards timer/IPI interrupts; anything else
             # is dropped (its virtual handler no longer exists).
@@ -695,7 +710,7 @@ class Miralis:
         before this is reached.
         """
         if self.watchdog is not None:
-            self.watchdog.counters["default-sbi"] += 1
+            self.watchdog._count(hart.hartid, "default-sbi")
         eid, fid = call.eid, call.fid
         if eid == sbi.EXT_BASE:
             if fid == sbi.FN_BASE_GET_SPEC_VERSION:

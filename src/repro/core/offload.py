@@ -165,11 +165,13 @@ class FastPath:
         return targets
 
     def _deliver_ipi(self, hart, vctx: VirtContext, targets: list[int]) -> None:
+        # Every target — the caller included — gets its MSIP set in the
+        # CLINT.  A self-IPI then takes the normal path: the MSI traps to
+        # the monitor, whose ``ipi-interrupt`` fast path acks it and
+        # forwards SSIP.  (Raising SSIP directly here dropped self-IPIs
+        # from the architectural delivery set: the caller's MSIP never
+        # pended, diverging from the slow path and from native firmware.)
         for target in targets:
-            if target == hart.hartid:
-                # Self-IPI: raise SSIP directly, no CLINT round trip.
-                self._raise_sip(hart, vctx, c.MIP_SSIP)
-                continue
             try:
                 self.machine.clint.write(0x0 + 4 * target, 4, 1)
             except BusError:

@@ -36,6 +36,11 @@ class VirtualClint:
         self.mtimecmp = [U64] * num_harts
         #: Deadlines armed by the monitor itself (fast-path set_timer).
         self.monitor_mtimecmp = [U64] * num_harts
+        #: The *virtual firmware's* msip view.  Firmware writes land here
+        #: and pass through physically; monitor fast-path IPI traffic
+        #: touches only the physical CLINT, so the firmware never sees
+        #: software interrupts it did not send itself.
+        self.msip = [0] * num_harts
         self.accesses = 0
 
     # -- timer multiplexing ----------------------------------------------
@@ -61,7 +66,7 @@ class VirtualClint:
         return mtime >= self.mtimecmp[hartid]
 
     def virtual_msip(self, hartid: int) -> bool:
-        return bool(self.clint.msip[hartid])
+        return bool(self.msip[hartid])
 
     # -- MMIO emulation -----------------------------------------------------
 
@@ -134,7 +139,7 @@ class VirtualClint:
         if kind == "mtime":
             register = self.machine.read_mtime()
         elif kind == "msip":
-            register = self.clint.msip[hartid]
+            register = self.msip[hartid]
         else:
             register = self.mtimecmp[hartid]
         return (register >> (8 * byte)) & ((1 << (8 * size)) - 1)
@@ -144,7 +149,10 @@ class VirtualClint:
         if kind == "mtime":
             return  # writes to mtime ignored, as on the physical device
         if kind == "msip":
-            # Pass-through: IPIs must physically reach the target hart.
+            # Shadow the firmware's view, then pass through: an IPI must
+            # physically reach the target hart, whose own monitor
+            # instance virtualizes it.
+            self.msip[hartid] = value & 1
             self.clint.write(offset, size, value)
             return
         mask = ((1 << (8 * size)) - 1) << (8 * byte)

@@ -47,7 +47,15 @@ class FirmwareWatchdog:
         #: Whether the hart ever completed a firmware→OS switch; decides
         #: whether quarantine can fall back to the OS or must halt.
         self.os_entered = [False] * num_harts
+        #: Aggregate decision counts (kept for dashboards/back-compat)
+        #: plus the per-hart views: a secondary hart's fault loop must
+        #: not be indistinguishable from a hart-0 failure.  Every
+        #: increment goes through :meth:`_count`, so the per-hart lists
+        #: always sum to the aggregate.
         self.counters: Counter[str] = Counter()
+        self.hart_counters: list[Counter[str]] = [
+            Counter() for _ in range(num_harts)
+        ]
         self.events: list[tuple[int, str, str]] = []
         # Per-activation state.
         self._vm_traps = [0] * num_harts
@@ -58,6 +66,11 @@ class FirmwareWatchdog:
         self._snapshots: list[Optional[dict]] = [None] * num_harts
         # ("boot",) or ("trap", code, is_interrupt, mtval, mepc, os_mode).
         self._pending: list[Optional[tuple]] = [None] * num_harts
+
+    def _count(self, hartid: int, name: str) -> None:
+        """Count one watchdog decision, keyed by hart and in aggregate."""
+        self.counters[name] += 1
+        self.hart_counters[hartid][name] += 1
 
     # ------------------------------------------------------------------
     # Activation lifecycle
@@ -110,14 +123,14 @@ class FirmwareWatchdog:
         hartid = hart.hartid
         self._vm_traps[hartid] += 1
         if self._vm_traps[hartid] > self.config.vm_trap_budget:
-            self.counters["detect:trap-budget"] += 1
+            self._count(hartid, "detect:trap-budget")
             self.recover(hart, vctx, "vM-mode trap budget exhausted")
 
     def note_injection(self, hart, vctx) -> None:
         hartid = hart.hartid
         self._inject_depth[hartid] += 1
         if self._inject_depth[hartid] > self.config.max_nested_traps:
-            self.counters["detect:double-trap"] += 1
+            self._count(hartid, "detect:double-trap")
             self.recover(hart, vctx, "virtual double-trap cascade")
 
     def note_virtual_xret(self, hart) -> None:
@@ -133,7 +146,7 @@ class FirmwareWatchdog:
             self._last_fault_tval[hartid] = mtval
             self._fault_repeats[hartid] = 1
         if self._fault_repeats[hartid] >= self.config.max_fault_repeats:
-            self.counters["detect:fault-loop"] += 1
+            self._count(hartid, "detect:fault-loop")
             self.recover(
                 hart, vctx,
                 f"firmware faulting repeatedly on {mtval:#x} (PMP/access loop)",
@@ -143,7 +156,7 @@ class FirmwareWatchdog:
         hartid = hart.hartid
         self._violations[hartid] += 1
         if self._violations[hartid] >= self.config.max_violations_per_activation:
-            self.counters["detect:violation-storm"] += 1
+            self._count(hartid, "detect:violation-storm")
             self.recover(hart, vctx, f"policy violation storm ({message})")
 
     def on_panic(self, hart, message: str) -> None:
@@ -155,18 +168,18 @@ class FirmwareWatchdog:
             return
         if self.miralis.world[hartid] is not World.FIRMWARE:
             return
-        self.counters["detect:panic"] += 1
+        self._count(hartid, "detect:panic")
         self.recover(hart, self.miralis.vctx[hartid], f"firmware panic: {message}")
 
     def on_bad_vector(self, hart, vctx, pc: int) -> None:
-        self.counters["detect:bad-vector"] += 1
+        self._count(hart.hartid, "detect:bad-vector")
         self.recover(
             hart, vctx,
             f"virtual trap vector targets unmapped memory ({pc:#x})",
         )
 
     def on_wfi_stall(self, hart, vctx) -> None:
-        self.counters["detect:wfi-stall"] += 1
+        self._count(hart.hartid, "detect:wfi-stall")
         self.recover(hart, vctx, "wfi with no wakeup source armed")
 
     # ------------------------------------------------------------------
@@ -187,11 +200,11 @@ class FirmwareWatchdog:
         quarantine halt when no OS exists to fall back to).
         """
         hartid = hart.hartid
-        self.counters["recoveries"] += 1
+        self._count(hartid, "recoveries")
         self.events.append((hartid, "recover", reason))
         # annotate_last has move semantics (one annotation per trap event),
         # so the authoritative per-kind totals live in recovery_counts.
-        self.machine.stats.note_recovery("recoveries")
+        self.machine.stats.note_recovery("recoveries", hart=hartid)
         self.machine.stats.annotate_last("miralis-recovery", detail=reason)
         self._trace(hartid, "recover", reason)
         self.consecutive_failures[hartid] += 1
@@ -202,8 +215,8 @@ class FirmwareWatchdog:
                 or snapshot is None or pending is None):
             self._quarantine(hart, vctx, reason)
         # Bounded exponential backoff, charged as monitor host work.
-        self.counters["retries"] += 1
-        self.machine.stats.note_recovery("retries")
+        self._count(hartid, "retries")
+        self.machine.stats.note_recovery("retries", hart=hartid)
         self._trace(hartid, "retry", reason, attempt=attempt)
         backoff = self.config.retry_backoff_cycles * (1 << (attempt - 1))
         self.miralis._charge_host(hart, backoff)
@@ -221,9 +234,9 @@ class FirmwareWatchdog:
     def _quarantine(self, hart, vctx, reason: str) -> None:
         hartid = hart.hartid
         self.quarantined[hartid] = True
-        self.counters["quarantines"] += 1
+        self._count(hartid, "quarantines")
         self.events.append((hartid, "quarantine", reason))
-        self.machine.stats.note_recovery("quarantines")
+        self.machine.stats.note_recovery("quarantines", hart=hartid)
         self.machine.stats.annotate_last(
             "miralis-recovery", detail=f"quarantine: {reason}"
         )
@@ -259,6 +272,7 @@ class FirmwareWatchdog:
     def summary(self) -> dict:
         return {
             "counters": dict(self.counters),
+            "hart_counters": [dict(per_hart) for per_hart in self.hart_counters],
             "quarantined": list(self.quarantined),
             "events": list(self.events),
         }

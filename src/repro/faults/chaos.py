@@ -51,9 +51,14 @@ class ChaosResult:
     checkpoint: bool = False
     quarantined: bool = False
     recoveries: dict = dataclasses.field(default_factory=dict)
+    #: Watchdog decisions keyed by hart (``watchdog.hart_counters``);
+    #: each key must sum across harts to its ``recoveries`` aggregate.
+    hart_recoveries: list = dataclasses.field(default_factory=list)
     #: The trap-statistics view of the same recovery activity
     #: (``machine.stats.recovery_counts``); must agree with ``recoveries``.
     stat_recoveries: dict = dataclasses.field(default_factory=dict)
+    #: Per-hart trap-statistics recovery counts.
+    stat_hart_recoveries: dict = dataclasses.field(default_factory=dict)
     injections: int = 0
     trap_log: tuple = ()
     console: str = ""
@@ -126,6 +131,10 @@ def _run_sbi_chaos(
     platform: PlatformConfig,
     firmware: str,
     tracer=None,
+    smp: bool = False,
+    quantum: int = 50,
+    smp_seed: int = 0,
+    smp_jitter: int = 0,
 ) -> tuple:
     """Boot an SBI firmware (OpenSBI/RustSBI/malicious) under the sandbox
     with the watchdog armed; returns (machine, miralis, halt_reason)."""
@@ -162,12 +171,18 @@ def _run_sbi_chaos(
         ),
         firmware_kwargs=firmware_kwargs,
         miralis_config=_chaos_miralis_config(platform.vendor_csrs),
+        start_secondaries=smp,
     )
     machine = system.machine
     machine.max_dispatches = MAX_DISPATCHES
     machine.tracer = tracer
     machine.install_fault_injector(injector)
-    reason = system.run()
+    if smp:
+        reason = system.run_smp(
+            quantum=quantum, seed=smp_seed, jitter=smp_jitter
+        )
+    else:
+        reason = system.run()
     result.checkpoint = bool(checkpoint)
     return machine, system.miralis, reason
 
@@ -212,12 +227,26 @@ def run_chaos(
     seed: int = 0,
     platform: PlatformConfig = VISIONFIVE2,
     tracer=None,
+    harts: Optional[int] = None,
+    quantum: int = 50,
+    smp_jitter: int = 0,
 ) -> ChaosResult:
-    """Boot ``firmware`` under fault ``plan`` with ``seed``; never raises."""
+    """Boot ``firmware`` under fault ``plan`` with ``seed``; never raises.
+
+    ``harts`` switches the run onto the deterministic SMP scheduler with
+    that many harts: secondaries are started and every hart interleaves
+    round-robin (``quantum`` checkpoints per slice, schedule seeded from
+    ``seed``), so faults land on secondary harts too.  Zephyr runs have
+    no S-mode OS to start secondaries, so ``harts`` only resizes the
+    platform there.
+    """
     if firmware not in CHAOS_FIRMWARES:
         raise ValueError(
             f"unknown firmware {firmware!r}; choose from {CHAOS_FIRMWARES}"
         )
+    smp = harts is not None
+    if smp:
+        platform = dataclasses.replace(platform, num_harts=harts)
     resolved = resolve_plan(plan, seed=seed)
     injector = FaultInjector(resolved, seed=seed)
     result = ChaosResult(firmware=firmware, plan=resolved.name, seed=seed)
@@ -229,7 +258,9 @@ def run_chaos(
             )
         else:
             machine, miralis, reason = _run_sbi_chaos(
-                result, injector, platform, firmware, tracer=tracer
+                result, injector, platform, firmware, tracer=tracer,
+                smp=smp, quantum=quantum, smp_seed=seed,
+                smp_jitter=smp_jitter,
             )
         result.halt_reason = reason
     except Exception as exc:  # noqa: BLE001 — the whole point: no leaks
@@ -238,11 +269,18 @@ def run_chaos(
     if machine is not None:
         result.console = machine.uart.text()
         result.stat_recoveries = dict(machine.stats.recovery_counts)
+        result.stat_hart_recoveries = {
+            hartid: dict(counts)
+            for hartid, counts in machine.stats.recovery_counts_by_hart.items()
+        }
         result.trap_log = tuple(
             (e.cause, e.is_interrupt, e.handler, e.detail)
             for e in machine.stats.events
         )
     if miralis is not None and miralis.watchdog is not None:
         result.recoveries = dict(miralis.watchdog.counters)
+        result.hart_recoveries = [
+            dict(per_hart) for per_hart in miralis.watchdog.hart_counters
+        ]
         result.quarantined = any(miralis.watchdog.quarantined)
     return result

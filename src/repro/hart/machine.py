@@ -95,7 +95,12 @@ class Machine:
         self._region_index: list[tuple[Region, Owner]] = []
         self._dispatches = 0
         self._service_depth = 0
-        self._resume_stack: list[set[int]] = []
+        # One resume stack per hart: run_until levels belong to the hart
+        # whose control flow they suspend, so an interleaved SMP run must
+        # never compare one hart's pc against another hart's resume set.
+        self._resume_stacks: list[list[set[int]]] = [
+            [] for _ in range(config.num_harts)
+        ]
         #: Runaway-control-flow backstop; tests may lower it to detect
         #: livelocks (e.g. interrupt storms from a buggy monitor).
         self.max_dispatches = _MAX_DISPATCHES
@@ -110,6 +115,10 @@ class Machine:
         #: Active :class:`~repro.trace.Tracer`, if any.  None (the
         #: default) keeps every emit site down to one branch.
         self.tracer = None
+        #: Active :class:`~repro.smp.SmpScheduler`, if any.  None (the
+        #: default) preserves the legacy run-to-completion hart flow and
+        #: keeps the per-instruction check down to one branch.
+        self.scheduler = None
         bus = self.spec_bus
         register_stats_provider(
             "bus.devices",
@@ -143,7 +152,11 @@ class Machine:
 
     def _set_msip_line(self, hartid: int, level: bool) -> None:
         self.harts[hartid].state.csr.set_interrupt_line(IRQ_MSI, level)
-        if level:
+        if level and self.scheduler is None:
+            # Legacy (non-SMP) flow: service the parked remote hart
+            # synchronously from the sender's stack.  Under the SMP
+            # scheduler the target hart is a schedulable entity of its
+            # own and handles the interrupt in its next slice.
             self._service_remote(hartid)
 
     def _set_mtip_line(self, hartid: int, level: bool) -> None:
@@ -242,7 +255,7 @@ class Machine:
         mirrors hardware, where such a context switch simply abandons the
         interrupted instruction stream.
         """
-        stack = self._resume_stack
+        stack = self._resume_stacks[hart.hartid]
         stack.append(resume_pcs)
         try:
             while hart.state.pc not in resume_pcs:
@@ -288,6 +301,13 @@ class Machine:
         from repro.hart.cycles import mtime_to_cycles
         from repro.spec.interrupts import pending_interrupt
 
+        if self.scheduler is not None:
+            # Under the SMP scheduler a waiting hart must not fast-forward
+            # the shared clock while siblings are runnable: it blocks and
+            # time only advances when every hart is waiting.
+            self.scheduler.wait_for_interrupt(hart)
+            return
+
         for _ in range(64):
             self.refresh_timer_lines()
             state = hart.state
@@ -314,6 +334,12 @@ class Machine:
 
     def run_hart_until_parked(self, hart: Hart, max_dispatches: int = 100_000) -> None:
         """Run a (secondary) hart until it parks itself (HSM hart_start)."""
+        if self.scheduler is not None:
+            # SMP flow: the started hart becomes schedulable and boots
+            # interleaved with its siblings instead of running to its
+            # parking point on the caller's stack.
+            self.scheduler.start_hart(hart)
+            return
         for _ in range(max_dispatches):
             if hart.parked_pc is not None or self.halted:
                 return

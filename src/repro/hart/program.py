@@ -223,6 +223,12 @@ class GuestContext:
         Returns the :class:`~repro.spec.step.Outcome` of the (final,
         committed or emulated) execution of the instruction.
         """
+        scheduler = self.machine.scheduler
+        if scheduler is not None:
+            # SMP preemption point: one checkpoint per architectural
+            # operation.  Costs one attribute load and one branch when
+            # disabled, same budget as the tracer hook.
+            scheduler.checkpoint(self.hart)
         self._wrap_pc()
         self._materialize(instr)
         while True:
@@ -384,6 +390,13 @@ class GuestContext:
         straight-line code, the block is interruptible: a timer expiring
         during it is delivered at its end.
         """
+        scheduler = self.machine.scheduler
+        if scheduler is not None:
+            # SMP preemption point: a compute block is a slab of real
+            # instructions, so it must consume quantum like any other
+            # architectural operation — otherwise a busy-wait loop built
+            # from compute() (spin-until-IPI) never yields its slice.
+            scheduler.checkpoint(self.hart)
         self.hart.charge(instructions * self.hart.cycle_model.instruction)
         resume_pc = self.hart.state.pc
         # Deliver interrupt chains (e.g. an IPI whose handler raises a

@@ -8,7 +8,7 @@ the per-benchmark trap rates of Figures 10-13.
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
+from collections import Counter, defaultdict
 from typing import Optional
 
 from repro.isa import constants as c
@@ -56,6 +56,8 @@ class TrapStats:
         #: re-annotated, so handler counts cannot double as recovery
         #: counts (several recoveries may share one trap event).
         self.recovery_counts: Counter[str] = Counter()
+        #: Per-hart recovery decisions; always sums to recovery_counts.
+        self.recovery_counts_by_hart: dict[int, Counter] = defaultdict(Counter)
         self._last: Optional[TrapEvent] = None
 
     def record_trap(self, hart, cause, is_interrupt, from_mode, mtime) -> TrapEvent:
@@ -98,9 +100,15 @@ class TrapStats:
     def note_fastpath(self) -> None:
         self.fastpath_hits += 1
 
-    def note_recovery(self, kind: str) -> None:
-        """Count one watchdog recovery decision (first-class, not moved)."""
+    def note_recovery(self, kind: str, hart: Optional[int] = None) -> None:
+        """Count one watchdog recovery decision (first-class, not moved).
+
+        ``hart`` keys the per-hart view; callers that cannot name a hart
+        still contribute to the aggregate only.
+        """
         self.recovery_counts[kind] += 1
+        if hart is not None:
+            self.recovery_counts_by_hart[hart][kind] += 1
 
     @property
     def last_event(self) -> Optional[TrapEvent]:
@@ -141,4 +149,5 @@ class TrapStats:
         self.fastpath_hits = 0
         self.total_traps = 0
         self.recovery_counts.clear()
+        self.recovery_counts_by_hart.clear()
         self._last = None

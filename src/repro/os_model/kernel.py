@@ -10,6 +10,7 @@ paper.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Optional
 
 from repro.hart.program import GuestContext, GuestProgram, Region
@@ -33,15 +34,27 @@ class KernelProgram(GuestProgram):
         workload: Optional[Workload] = None,
         start_secondaries: bool = False,
         tick_interval_mtime: int = 4_000,  # 1 ms at the 4 MHz timebase
+        secondary_workload: Optional[Workload] = None,
     ):
         super().__init__(name, region)
         self.machine = machine
         self.workload = workload
         self.start_secondaries = start_secondaries
+        #: Run on each secondary hart after its idle-loop setup, before it
+        #: parks — only meaningful under the SMP scheduler, where the
+        #: secondary executes interleaved with its siblings.
+        self.secondary_workload = secondary_workload
         self.tick_interval_mtime = tick_interval_mtime
         self.timer_ticks = 0
         self.software_interrupts = 0
         self.external_interrupts = 0
+        #: Per-hart views of the interrupt counters (SMP workloads assert
+        #: that *each* hart made progress, not just the aggregate).
+        self.ticks_by_hart: Counter[int] = Counter()
+        self.ssi_by_hart: Counter[int] = Counter()
+        #: When set, a hart servicing an IPI answers with an IPI back to
+        #: this hart (unless it *is* this hart) — the ping-pong workload.
+        self.ipi_pong_target: Optional[int] = None
         self.unexpected_traps: list[int] = []
         self.sbi_impl_id: Optional[int] = None
         self.extensions: dict[int, bool] = {}
@@ -130,6 +143,8 @@ class KernelProgram(GuestProgram):
         ctx.csrw(c.CSR_STVEC, self.trap_vector)
         ctx.csrw(c.CSR_SIE, c.MIP_SSIP | c.MIP_STIP)
         ctx.csrs(c.CSR_SSTATUS, c.MSTATUS_SIE)
+        if self.secondary_workload is not None:
+            self.secondary_workload(self, ctx)
         self.machine.park(ctx.hart)
 
     # -- trap handling ---------------------------------------------------
@@ -141,12 +156,17 @@ class KernelProgram(GuestProgram):
         if cause & c.INTERRUPT_BIT:
             if code == c.IRQ_STI:
                 self.timer_ticks += 1
+                self.ticks_by_hart[ctx.hart.hartid] += 1
                 # Re-arm: mask further timer interrupts until the workload
                 # arms a new deadline (Linux's oneshot clockevent model).
                 ctx.csrc(c.CSR_SIE, c.MIP_STIP)
             elif code == c.IRQ_SSI:
                 self.software_interrupts += 1
+                self.ssi_by_hart[ctx.hart.hartid] += 1
                 ctx.csrc(c.CSR_SIP, c.MIP_SSIP)
+                pong = self.ipi_pong_target
+                if pong is not None and ctx.hart.hartid != pong:
+                    self.sbi_send_ipi(ctx, 1 << pong, 0)
             elif code == c.IRQ_SEI:
                 self.external_interrupts += 1
                 self._claim_external(ctx)

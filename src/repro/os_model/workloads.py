@@ -19,6 +19,7 @@ import dataclasses
 from typing import Optional
 
 from repro.hart.program import GuestContext
+from repro.isa import constants as c
 from repro.os_model.kernel import KernelProgram
 
 
@@ -260,6 +261,87 @@ def run_trap_mix(
     result.traps = machine.stats.total_traps - start_traps
     result.world_switches = machine.stats.world_switches - start_switches
     return result
+
+
+# ---------------------------------------------------------------------------
+# Cross-hart SMP workloads (deterministic scheduler required for real
+# interleaving; they also run — degenerately — under the legacy
+# synchronous-servicing flow, which services remote harts on the
+# sender's stack)
+# ---------------------------------------------------------------------------
+
+#: SBI all-harts mask base (-1 as u64).
+ALL_HARTS = (1 << 64) - 1
+
+
+def smp_ipi_pingpong(rounds: int = 4, spin_limit: int = 2_000):
+    """IPI ping-pong: hart 0 pings each secondary in turn; the
+    secondary's SSI handler answers with an IPI back to hart 0
+    (``kernel.ipi_pong_target``).  Exercises the IPI fast path in both
+    directions across every hart pair involving the boot hart.
+
+    Returns ``(primary, secondary)`` workloads for the system builders.
+    """
+
+    def primary(kernel: KernelProgram, ctx: GuestContext) -> None:
+        kernel.ipi_pong_target = 0
+        num_harts = kernel.machine.config.num_harts
+        for _ in range(rounds):
+            for target in range(1, num_harts):
+                before = kernel.ssi_by_hart[0]
+                kernel.sbi_send_ipi(ctx, 1 << target, 0)
+                spins = 0
+                # Delivery points until the pong lands (bounded so a
+                # dropped IPI fails the workload instead of hanging it).
+                while kernel.ssi_by_hart[0] == before and spins < spin_limit:
+                    ctx.compute(50)
+                    spins += 1
+        kernel.ipi_pong_target = None
+
+    return primary, None
+
+
+def smp_rfence_storm(rounds: int = 12):
+    """Remote-fence storm: every hart hammers all-harts ``fence.i``
+    requests concurrently, so each hart both sends fences and services
+    the resulting IPIs from its siblings."""
+
+    def body(kernel: KernelProgram, ctx: GuestContext) -> None:
+        for _ in range(rounds):
+            kernel.sbi_remote_fence_i(ctx, 0, ALL_HARTS)
+            ctx.compute(200)  # delivery points for incoming fence IPIs
+
+    return body, body
+
+
+def smp_timer_contention(ticks: int = 3, interval_mtime: int = 60,
+                         spin_limit: int = 2_000):
+    """Timer contention: each hart arms its own short deadlines against
+    the shared mtime and busy-waits for its tick, so per-hart comparators
+    race on a common clock."""
+
+    def body(kernel: KernelProgram, ctx: GuestContext) -> None:
+        hartid = ctx.hart.hartid
+        for _ in range(ticks):
+            before = kernel.ticks_by_hart[hartid]
+            now = kernel.read_time(ctx)
+            ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+            kernel.sbi_set_timer(ctx, now + interval_mtime)
+            spins = 0
+            while kernel.ticks_by_hart[hartid] == before and spins < spin_limit:
+                ctx.compute(100)
+                spins += 1
+
+    return body, body
+
+
+#: Named SMP workload factories for the CLI and the scaling benchmark.
+#: Each factory returns ``(primary, secondary)`` workload callables.
+SMP_WORKLOADS = {
+    "ipi-pingpong": smp_ipi_pingpong,
+    "rfence-storm": smp_rfence_storm,
+    "timer-contention": smp_timer_contention,
+}
 
 
 def run_compute_workload(

@@ -1,0 +1,5 @@
+"""Deterministic SMP scheduling for multi-hart runs."""
+
+from repro.smp.scheduler import SmpScheduler
+
+__all__ = ["SmpScheduler"]

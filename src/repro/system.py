@@ -61,6 +61,23 @@ class System:
         )
         return self.machine.boot(entry=entry)
 
+    def run_smp(self, quantum: int = 50, seed: int = 0, jitter: int = 0) -> str:
+        """Boot under the deterministic SMP scheduler: all started harts
+        interleave round-robin with ``quantum`` checkpoints per slice.
+
+        Returns the halt reason, like :meth:`run`.
+        """
+        from repro.smp import SmpScheduler
+
+        scheduler = SmpScheduler(
+            self.machine, quantum=quantum, seed=seed, jitter=jitter
+        )
+        entry = (
+            self.miralis.region.base if self.miralis is not None
+            else self.firmware.region.base
+        )
+        return scheduler.boot(entry)
+
     @property
     def console_output(self) -> str:
         return self.machine.uart.text()
@@ -84,6 +101,7 @@ def build_native(
     start_secondaries: bool = False,
     keep_trap_events: bool = True,
     firmware_kwargs: Optional[dict] = None,
+    secondary_workload: Optional[Workload] = None,
 ) -> System:
     """Assemble the classical deployment: vendor firmware in M-mode."""
     machine = Machine(config, keep_trap_events=keep_trap_events)
@@ -94,6 +112,7 @@ def build_native(
         machine,
         workload=workload,
         start_secondaries=start_secondaries,
+        secondary_workload=secondary_workload,
     )
     if firmware_class is None:
         firmware_class = VENDOR_FIRMWARE.get(config.name, OpenSbiFirmware)
@@ -119,6 +138,7 @@ def build_virtualized(
     keep_trap_events: bool = True,
     firmware_kwargs: Optional[dict] = None,
     miralis_config: Optional[object] = None,
+    secondary_workload: Optional[Workload] = None,
 ) -> System:
     """Assemble the VFM deployment: Miralis in M-mode, firmware in vM-mode.
 
@@ -138,6 +158,7 @@ def build_virtualized(
         machine,
         workload=workload,
         start_secondaries=start_secondaries,
+        secondary_workload=secondary_workload,
     )
     if firmware_class is None:
         firmware_class = VENDOR_FIRMWARE.get(config.name, OpenSbiFirmware)

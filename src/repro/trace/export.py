@@ -22,6 +22,37 @@ SCHEMA = "repro-trace-v1"
 
 _NAME_KEYS = ("name", "direction", "site", "state", "op", "what", "cause")
 
+#: Metadata event names the validator accepts for ``ph: "M"`` records.
+_METADATA_NAMES = ("process_name", "thread_name", "thread_sort_index")
+
+
+def _track_metadata(trace_events: list[dict]) -> list[dict]:
+    """Per-hart track labels: Chrome/Perfetto ``"M"`` metadata events.
+
+    Every tid that appears in the trace gets a ``thread_name`` record so
+    SMP runs render as one labelled track per hart instead of bare
+    thread numbers.
+    """
+    tids = sorted({event["tid"] for event in trace_events})
+    metadata = [{
+        "name": "process_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": 0,
+        "tid": tids[0] if tids else 0,
+        "args": {"name": "repro-machine"},
+    }]
+    for tid in tids:
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": f"hart {tid}"},
+        })
+    return metadata
+
 
 def _instant(event, name: str, cat: str) -> dict:
     return {
@@ -85,6 +116,7 @@ def to_chrome_trace(tracer, meta: Optional[dict] = None) -> dict:
             _instant(leftover, leftover.args["cause"], "trap-entry")
         )
     trace_events.sort(key=lambda e: (e["ts"], e["args"].get("seq", 0)))
+    trace_events = _track_metadata(trace_events) + trace_events
     other = {
         "schema": SCHEMA,
         "event_counts": dict(tracer.counts),
@@ -168,8 +200,8 @@ def validate_chrome_trace(doc) -> list[str]:
             continue
         if not isinstance(event.get("name"), str) or not event["name"]:
             errors.append(f"{where}: name must be a non-empty string")
-        if event.get("ph") not in ("X", "i"):
-            errors.append(f"{where}: ph must be 'X' or 'i'")
+        if event.get("ph") not in ("X", "i", "M"):
+            errors.append(f"{where}: ph must be 'X', 'i', or 'M'")
         if not isinstance(event.get("ts"), (int, float)) or event["ts"] < 0:
             errors.append(f"{where}: ts must be a non-negative number")
         for field in ("pid", "tid"):
@@ -182,6 +214,19 @@ def validate_chrome_trace(doc) -> list[str]:
                 errors.append(f"{where}: X event needs a non-negative dur")
         if event.get("ph") == "i" and event.get("s") not in ("t", "p", "g"):
             errors.append(f"{where}: instant event needs scope s in t/p/g")
+        if event.get("ph") == "M":
+            if event.get("name") not in _METADATA_NAMES:
+                errors.append(
+                    f"{where}: metadata event name must be one of "
+                    f"{_METADATA_NAMES}"
+                )
+            args = event.get("args")
+            if isinstance(args, dict) and "name" not in args and \
+                    "sort_index" not in args:
+                errors.append(
+                    f"{where}: metadata event needs args.name or "
+                    f"args.sort_index"
+                )
         if errors and len(errors) > 20:
             errors.append("... (truncated)")
             break

@@ -56,7 +56,11 @@ def test_ipi_self_charge(offload_parts, vctx):
     before = hart.cycles
     ret = offload._sbi_send_ipi(hart, vctx, 0b1, 0)  # hart 0 == the caller
     assert ret.is_success
-    assert hart.cycles - before == offload.costs.fastpath_ipi
+    # Self-delivery goes through the CLINT like any other target, so it
+    # pays the same MMIO cost as a remote IPI.
+    assert hart.cycles - before == (
+        offload.costs.fastpath_ipi + hart.cycle_model.mmio_access
+    )
 
 
 def test_ipi_remote_charge(offload_parts, vctx):
@@ -78,6 +82,7 @@ def test_rfence_self_charge(offload_parts, vctx):
     assert ret.is_success
     assert hart.cycles - before == (
         offload.costs.fastpath_rfence + hart.cycle_model.memory_fence
+        + hart.cycle_model.mmio_access  # self-delivery via the CLINT
     )
 
 

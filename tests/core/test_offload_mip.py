@@ -85,12 +85,16 @@ def test_offload_keeps_virtual_mip_coherent(offload_run):
     assert not mismatches, "\n".join(mismatches)
 
 
-def test_offload_ipi_raises_ssip_in_both_views(offload_run):
-    samples, _ = offload_run
+def test_offload_self_ipi_defers_ssip_to_natural_delivery(offload_run):
+    samples, hits = offload_run
     by_label = {label: (physical, virtual)
                 for label, physical, virtual in samples}
     physical, virtual = by_label["ipi"]
-    # A world-switched emulation ends with the firmware having done
-    # csrs(mip, SSIP); the offloaded path must leave the same state.
-    assert physical & c.MIP_SSIP
-    assert virtual & c.MIP_SSIP
+    # A self-IPI pends as a machine-level MSI in the CLINT; SSIP appears
+    # only when the MSI traps to the monitor's ``ipi-interrupt`` fast
+    # path at the next architectural operation (and the kernel's SSI
+    # handler then consumes it).  Right after the ecall neither view
+    # shows SSIP — and both views agree, preserving coherence.
+    assert not physical & c.MIP_SSIP
+    assert not virtual & c.MIP_SSIP
+    assert hits.get("ipi-interrupt", 0) >= 1

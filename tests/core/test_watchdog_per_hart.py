@@ -1,0 +1,91 @@
+"""Watchdog and TrapStats recovery accounting must be keyed by hart.
+
+Regression tests for globally-keyed counters: a secondary hart caught in
+a fault loop bumped the same ``Counter`` as hart 0, so per-hart health
+could not be told apart — chaos runs against multi-hart plans attributed
+every secondary-hart recovery to the boot hart.  The aggregate counters
+stay (dashboards and existing tests key off them); per-hart views are
+now first class and must always sum to the aggregate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MiralisConfig
+from repro.hart.program import FirmwareRecovered
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+
+
+def _watchdog_config(**overrides) -> MiralisConfig:
+    params = dict(
+        offload_enabled=False,
+        watchdog_enabled=True,
+        halt_on_violation=False,
+        vm_trap_budget=200,
+        max_firmware_retries=2,
+    )
+    params.update(overrides)
+    return MiralisConfig(**params)
+
+
+def _armed(hartid: int):
+    system = build_virtualized(VISIONFIVE2, miralis_config=_watchdog_config())
+    watchdog = system.miralis.watchdog
+    hart = system.machine.harts[hartid]
+    vctx = system.miralis.vctx[hartid]
+    watchdog.arm_boot(hart, vctx)
+    return system, watchdog, hart, vctx
+
+
+def test_secondary_hart_recovery_not_attributed_to_hart0():
+    system, watchdog, hart, vctx = _armed(1)
+    with pytest.raises(FirmwareRecovered):
+        watchdog.recover(hart, vctx, "synthetic secondary fault loop")
+    assert watchdog.hart_counters[1]["recoveries"] == 1
+    assert watchdog.hart_counters[1]["retries"] == 1
+    assert watchdog.hart_counters[0]["recoveries"] == 0, (
+        "secondary-hart recovery mis-attributed to hart 0"
+    )
+    # The aggregate view is preserved for existing consumers.
+    assert watchdog.counters["recoveries"] == 1
+    assert watchdog.counters["retries"] == 1
+
+
+def test_detector_counters_keyed_by_hart():
+    system, watchdog, hart, vctx = _armed(1)
+    budget = watchdog.config.vm_trap_budget
+    with pytest.raises(FirmwareRecovered):
+        for _ in range(budget + 1):
+            watchdog.note_vm_trap(hart, vctx)
+    assert watchdog.hart_counters[1]["detect:trap-budget"] == 1
+    assert watchdog.hart_counters[0]["detect:trap-budget"] == 0
+    assert watchdog.counters["detect:trap-budget"] == 1
+
+
+def test_stats_recovery_counts_keyed_by_hart():
+    system, watchdog, hart, vctx = _armed(2)
+    stats = system.machine.stats
+    with pytest.raises(FirmwareRecovered):
+        watchdog.recover(hart, vctx, "synthetic")
+    assert stats.recovery_counts_by_hart[2]["recoveries"] == 1
+    assert stats.recovery_counts_by_hart[0]["recoveries"] == 0
+    assert stats.recovery_counts["recoveries"] == 1
+
+
+def test_per_hart_counters_sum_to_aggregate():
+    system, watchdog, hart, vctx = _armed(1)
+    with pytest.raises(FirmwareRecovered):
+        watchdog.recover(hart, vctx, "synthetic")
+    hart0 = system.machine.harts[0]
+    vctx0 = system.miralis.vctx[0]
+    watchdog.arm_boot(hart0, vctx0)
+    with pytest.raises(FirmwareRecovered):
+        watchdog.recover(hart0, vctx0, "synthetic")
+    for key in watchdog.counters:
+        total = sum(per_hart[key] for per_hart in watchdog.hart_counters)
+        assert total == watchdog.counters[key], key
+    assert watchdog.summary()["hart_counters"] == [
+        dict(per_hart) for per_hart in watchdog.hart_counters
+    ]

@@ -97,6 +97,43 @@ class TestRecoveryAccounting:
         )
         assert detections == result.recoveries.get("recoveries", 0)
 
+    @pytest.mark.parametrize("plan", CHAOS_SUITE)
+    def test_per_hart_recovery_counts_sum_to_aggregate(self, plan):
+        """Watchdog decisions are keyed by hart; the per-hart views must
+        always reconstruct the aggregates exactly (no mis-attribution)."""
+        result = run_chaos("opensbi", plan, seed=MATRIX_SEED)
+        assert result.error is None, result.report()
+        for kind, total in result.recoveries.items():
+            per_hart = sum(
+                counts.get(kind, 0) for counts in result.hart_recoveries
+            )
+            assert per_hart == total, (
+                f"{plan}: {kind} aggregate {total} but per-hart sum {per_hart}"
+            )
+        for kind, total in result.stat_recoveries.items():
+            per_hart = sum(
+                counts.get(kind, 0)
+                for counts in result.stat_hart_recoveries.values()
+            )
+            assert per_hart == total, kind
+
+    def test_chaos_at_two_harts_deterministic_and_accounted(self):
+        """The chaos contract holds under SMP interleaving: identical
+        runs per seed, and per-hart recovery accounting stays exact."""
+        a = run_chaos("opensbi", "stall-loop", seed=MATRIX_SEED, harts=2)
+        b = run_chaos("opensbi", "stall-loop", seed=MATRIX_SEED, harts=2)
+        assert a.error is None, a.report()
+        assert a.ok, a.report()
+        assert a.trap_log == b.trap_log
+        assert a.halt_reason == b.halt_reason
+        assert a.recoveries == b.recoveries
+        assert len(a.hart_recoveries) == 2
+        for kind, total in a.recoveries.items():
+            per_hart = sum(
+                counts.get(kind, 0) for counts in a.hart_recoveries
+            )
+            assert per_hart == total, kind
+
 
 class TestChaosOutcomes:
     def test_stall_loop_ends_in_recorded_decision(self):

@@ -1,0 +1,70 @@
+"""SMP traces render as one labelled track per hart in Chrome/Perfetto.
+
+The exporter must emit ``ph: "M"`` thread-name metadata for every tid in
+the stream, and the schema validator must accept those records.
+"""
+
+import dataclasses
+
+from repro.os_model.workloads import SMP_WORKLOADS
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_virtualized
+from repro.trace import Tracer, dump_trace, load_trace, to_chrome_trace, \
+    validate_chrome_trace
+
+
+def _traced_smp_doc(harts=2):
+    primary, secondary = SMP_WORKLOADS["rfence-storm"]()
+    system = build_virtualized(
+        dataclasses.replace(VISIONFIVE2, num_harts=harts),
+        workload=primary,
+        secondary_workload=secondary,
+        start_secondaries=True,
+    )
+    tracer = Tracer()
+    system.machine.tracer = tracer
+    reason = system.run_smp()
+    assert "sbi system reset" in reason
+    return to_chrome_trace(tracer)
+
+
+class TestPerHartTracks:
+    def test_thread_name_metadata_per_hart(self):
+        doc = _traced_smp_doc(harts=2)
+        names = {
+            event["tid"]: event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        tids = {
+            event["tid"] for event in doc["traceEvents"]
+            if event["ph"] != "M"
+        }
+        assert tids >= {0, 1}, "no events from the secondary hart"
+        for tid in tids:
+            assert names.get(tid) == f"hart {tid}"
+
+    def test_metadata_validates_and_round_trips(self, tmp_path):
+        doc = _traced_smp_doc(harts=2)
+        assert validate_chrome_trace(doc) == []
+        primary, secondary = SMP_WORKLOADS["rfence-storm"]()
+        system = build_virtualized(
+            dataclasses.replace(VISIONFIVE2, num_harts=2),
+            workload=primary,
+            secondary_workload=secondary,
+            start_secondaries=True,
+        )
+        tracer = Tracer()
+        system.machine.tracer = tracer
+        system.run_smp()
+        path = tmp_path / "smp-trace.json"
+        dump_trace(tracer, path)
+        assert validate_chrome_trace(load_trace(path)) == []
+
+    def test_validator_rejects_unknown_metadata_name(self):
+        doc = _traced_smp_doc(harts=2)
+        for event in doc["traceEvents"]:
+            if event["ph"] == "M":
+                event["name"] = "mystery_meta"
+                break
+        assert validate_chrome_trace(doc)
