@@ -1,0 +1,185 @@
+"""Deterministic aggregation of campaign results.
+
+``merge_campaign`` folds per-cell results into one aggregate document
+whose *canonical* portion is byte-identical for a given cell matrix, no
+matter how many workers ran it or in what order cells completed.  All
+nondeterministic measurements (wall clock, per-cell elapsed, attempt
+counts, worker assignment) live under the single top-level ``"timing"``
+key, which :func:`canonical_aggregate` strips; everything else is built
+from sorted, JSON-stable data:
+
+* verification cells merge through
+  :func:`repro.verif.report.merge_reports` — ``inputs_checked`` sums and
+  divergences re-sort by input key;
+* fuzz findings sort by ``(seed, offload)`` and skipped seeds are
+  carried, never dropped;
+* chaos summaries sort by cell key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.campaign.cells import VERIF_TASK_ORDER
+from repro.campaign.runner import CampaignResult, CellResult
+from repro.verif.report import CheckReport, Divergence, merge_reports
+
+SCHEMA = "repro-campaign-v1"
+
+
+def report_from_dict(doc: dict) -> CheckReport:
+    """Rebuild a :class:`CheckReport` from a cell payload."""
+    report = CheckReport(
+        task=doc["task"],
+        inputs_checked=doc["inputs_checked"],
+        elapsed_seconds=doc.get("elapsed_seconds", 0.0),
+    )
+    report.divergences = [Divergence(**entry) for entry in doc["divergences"]]
+    return report
+
+
+def merged_check_reports(results: Iterable[CellResult]) -> list[CheckReport]:
+    """The merged Table 2 reports carried by a campaign's verif cells."""
+    shards = [report_from_dict(r.payload["report"])
+              for r in results
+              if r.family == "verif" and "report" in r.payload]
+    merged = merge_reports(shards)
+    order = {task: index for index, task in enumerate(VERIF_TASK_ORDER)}
+    merged.sort(key=lambda report: (order.get(report.task, len(order)),
+                                    report.task))
+    return merged
+
+
+def merge_campaign(campaign: CampaignResult) -> dict:
+    """Fold a :class:`CampaignResult` into the aggregate document."""
+    counts = campaign.counts()
+    families: dict[str, dict] = {}
+    cells = []
+    failures = []
+    timing_cells = {}
+    for result in campaign.results:  # already sorted by key
+        family = families.setdefault(
+            result.family, {status: 0 for status in
+                            ("cells", "ok", "fail", "error", "timeout",
+                             "skipped")})
+        family["cells"] += 1
+        family[result.status] += 1
+        cells.append({
+            "key": result.key,
+            "family": result.family,
+            "status": result.status,
+            "error": result.error,
+        })
+        if result.status != "ok":
+            failures.append({"key": result.key, "status": result.status,
+                             "error": result.error})
+        timing_cells[result.key] = {
+            "elapsed_seconds": result.elapsed_seconds,
+            "attempts": result.attempts,
+            "worker": result.worker,
+        }
+    aggregate = {
+        "schema": SCHEMA,
+        "counts": counts,
+        "families": families,
+        "cells": cells,
+        "failures": failures,
+    }
+
+    verif_results = campaign.by_family("verif")
+    if verif_results:
+        aggregate["verif"] = {
+            "reports": [report.to_dict(include_timing=False)
+                        for report in merged_check_reports(verif_results)],
+        }
+
+    fuzz_results = campaign.by_family("fuzz")
+    if fuzz_results:
+        findings = []
+        seeds_run: list[int] = []
+        seeds_skipped: list[int] = []
+        deadline_hit = False
+        for result in fuzz_results:
+            payload = result.payload
+            findings.extend(payload.get("findings", ()))
+            seeds_run.extend(payload.get("seeds_run", ()))
+            seeds_skipped.extend(payload.get("seeds_skipped", ()))
+            deadline_hit = deadline_hit or payload.get("deadline_hit", False)
+            if (result.status in ("timeout", "error", "skipped")
+                    and "seeds_run" not in payload):
+                # The cell never reported its seeds: every seed it owned
+                # is un-run, and silently dropping them would turn a
+                # killed worker into a pass.
+                bounds = dict(_cell_range_from_key(result.key))
+                if bounds:
+                    seeds_skipped.extend(range(bounds["start"],
+                                               bounds["stop"]))
+        findings.sort(key=lambda f: (f["seed"], f["offload"]))
+        aggregate["fuzz"] = {
+            "seeds_run": sorted(seeds_run),
+            "seeds_skipped": sorted(set(seeds_skipped)),
+            "deadline_hit": deadline_hit,
+            "findings": findings,
+        }
+
+    chaos_results = campaign.by_family("chaos")
+    if chaos_results:
+        aggregate["chaos"] = {
+            "results": [
+                dict(result.payload, key=result.key, status=result.status)
+                for result in chaos_results
+            ],
+        }
+
+    aggregate["timing"] = {
+        "workers": campaign.workers,
+        "wall_seconds": campaign.wall_seconds,
+        "cells_per_second": (
+            counts["total"] / campaign.wall_seconds
+            if campaign.wall_seconds > 0 else 0.0
+        ),
+        "cells": timing_cells,
+    }
+    return aggregate
+
+
+def _cell_range_from_key(key: str):
+    """Best-effort seed-range recovery from a fuzz cell key
+    (``fuzz:...:s00000-00008``)."""
+    tail = key.rsplit(":", 1)[-1]
+    if tail.startswith("s") and "-" in tail:
+        lo, _, hi = tail[1:].partition("-")
+        if lo.isdigit() and hi.isdigit():
+            yield "start", int(lo)
+            yield "stop", int(hi)
+
+
+def canonical_aggregate(aggregate: dict) -> dict:
+    """The deterministic portion: everything except ``"timing"``."""
+    return {key: value for key, value in aggregate.items() if key != "timing"}
+
+
+def canonical_json(aggregate: dict) -> str:
+    """Byte-stable serialization of the canonical aggregate.
+
+    Two campaigns over the same cell matrix produce identical strings
+    here regardless of worker count — the determinism tests and the
+    scaling benchmark compare these bytes directly.
+    """
+    return json.dumps(canonical_aggregate(aggregate), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def exit_code(aggregate: dict) -> int:
+    """Process exit status for a campaign: 0 clean, 1 failures, 3 when
+    the only defect is incompleteness (skipped cells/seeds)."""
+    counts = aggregate["counts"]
+    if counts["fail"] or counts["error"] or counts["timeout"]:
+        return 1
+    if counts["skipped"]:
+        return 3
+    fuzz = aggregate.get("fuzz")
+    if fuzz is not None and fuzz["seeds_skipped"]:
+        return 3
+    return 0

@@ -5,8 +5,11 @@ Subcommands:
 * ``boot`` — assemble and boot a deployment, print trap statistics.
 * ``attack`` — run one of the adversarial-firmware attacks natively or
   under the sandbox, and report containment.
-* ``verify`` — run the §6 verification tasks and print the report.
+* ``verify`` — run the §6 verification tasks and print the report
+  (sharded across workers with ``--workers``).
 * ``fuzz`` — run a native-vs-virtualized differential fuzzing campaign.
+* ``campaign`` — run the verif/fuzz/chaos families as one sharded,
+  parallel campaign with a deterministic aggregate report.
 * ``trace`` — inspect a trace file written by ``boot --trace=FILE``.
 """
 
@@ -235,40 +238,49 @@ def command_attack(args: argparse.Namespace) -> int:
     return 1 if outcome.succeeded and not args.native else 0
 
 
+def _parse_shard(spec):
+    """``--shard I/M`` -> (index, count), or None."""
+    if spec is None:
+        return None
+    try:
+        index_text, _, count_text = spec.partition("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(f"bad --shard {spec!r}; expected I/M, e.g. 0/4")
+    if not 0 <= index < count:
+        raise SystemExit(f"bad --shard {spec!r}; need 0 <= I < M")
+    return index, count
+
+
+def _filter_shard(cells, shard):
+    if shard is None:
+        return cells
+    from repro.campaign import shard_of
+
+    index, count = shard
+    return [cell for cell in cells if shard_of(cell.key, count) == index]
+
+
 def command_verify(args: argparse.Namespace) -> int:
-    from repro.isa.instructions import Instruction
-    from repro.spec.csrs import known_csr_addresses
-    from repro.system import build_virtualized
-    from repro.verif import (
-        StateDescription,
-        csr_instruction_space,
-        csr_value_space,
-        pmp_config_space,
-        run_emulation_check,
-        run_execution_check,
-        run_interrupt_check,
-        system_instruction_space,
-        virtual_platform,
+    from repro.campaign import (
+        merged_check_reports,
+        run_campaign,
+        verif_cells,
     )
 
-    platform = virtual_platform(PLATFORMS[args.platform], virtual_pmp_count=4)
-    descriptions = [
-        StateDescription(gprs=[0] + [value] * 31)
-        for value in csr_value_space(samples=4)[: args.states]
-    ]
-    instructions = list(csr_instruction_space(known_csr_addresses(platform)))
-    instructions += list(system_instruction_space())
-    reports = [
-        run_emulation_check(platform, descriptions, instructions,
-                            task="faithful-emulation"),
-        run_interrupt_check(platform),
-    ]
-    system = build_virtualized(PLATFORMS[args.platform])
-    reports.append(run_execution_check(
-        system, pmp_config_space(system.miralis.vpmp.virtual_count)
-    ))
+    # The verification sweep runs through the campaign runner: the same
+    # cells at any worker count, merged into one report per Table 2 task.
+    cells = _filter_shard(
+        verif_cells(platform=args.platform, states=args.states),
+        _parse_shard(args.shard),
+    )
+    campaign = run_campaign(cells, workers=args.workers)
     failed = False
-    for report in reports:
+    for result in campaign.results:
+        if result.status in ("error", "timeout", "skipped"):
+            failed = True
+            print(f"{result.key}: {result.status.upper()} ({result.error})")
+    for report in merged_check_reports(campaign.results):
         print(report.summary())
         if not report.passed:
             failed = True
@@ -277,18 +289,144 @@ def command_verify(args: argparse.Namespace) -> int:
 
 
 def command_fuzz(args: argparse.Namespace) -> int:
-    from repro.verif.fuzz import fuzz_campaign
+    from repro.verif.fuzz import run_fuzz_campaign
 
-    findings = fuzz_campaign(
+    result = run_fuzz_campaign(
         range(args.start, args.start + args.count),
         length=args.length,
         platform=PLATFORMS[args.platform],
         offload=not args.no_offload,
+        campaign_seconds=args.budget,
     )
-    print(f"{args.count} scenarios, {len(findings)} divergence(s)")
-    for finding in findings:
+    print(f"{len(result.seeds_run)} scenarios, "
+          f"{len(result.findings)} divergence(s)")
+    for finding in result.findings:
         print(" ", finding)
-    return 1 if findings else 0
+    if result.seeds_skipped:
+        print(f"campaign budget hit after {result.elapsed_seconds:.1f}s: "
+              f"{len(result.seeds_skipped)} seed(s) skipped "
+              f"({result.seeds_skipped[0]}..{result.seeds_skipped[-1]})")
+    if result.findings:
+        return 1
+    return 3 if result.seeds_skipped else 0
+
+
+def _parse_list(text: str) -> list[str]:
+    return [item for item in (part.strip() for part in text.split(","))
+            if item]
+
+
+def command_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import (
+        CLI_FAMILIES,
+        chaos_cells,
+        exit_code,
+        fuzz_cells,
+        merge_campaign,
+        merged_check_reports,
+        run_campaign,
+        verif_cells,
+    )
+
+    families = _parse_list(args.families)
+    unknown = [f for f in families if f not in CLI_FAMILIES]
+    if unknown:
+        print(f"unknown families: {', '.join(unknown)} "
+              f"(choose from {', '.join(CLI_FAMILIES)})")
+        return 2
+    cells = []
+    if "verif" in families:
+        cells += verif_cells(platform=args.platform, states=args.states)
+    if "fuzz" in families:
+        cells += fuzz_cells(
+            start=args.fuzz_start, count=args.fuzz_count,
+            length=args.fuzz_length, platform=args.platform,
+            offload=not args.no_offload, chunk=args.fuzz_chunk,
+        )
+    if "chaos" in families:
+        seeds = [int(s) for s in _parse_list(args.chaos_seeds)]
+        cells += chaos_cells(
+            firmwares=_parse_list(args.chaos_firmwares),
+            plans=_parse_list(args.chaos_plans),
+            seeds=seeds, platform=args.platform,
+            harts=args.chaos_harts, trace_dir=args.chaos_trace_dir,
+        )
+    cells = _filter_shard(cells, _parse_shard(args.shard))
+    if not cells:
+        print("campaign: no cells selected")
+        return 2
+    print(f"campaign: {len(cells)} cells across "
+          f"{len(set(c.family for c in cells))} families, "
+          f"workers={args.workers}")
+    campaign = run_campaign(
+        cells, workers=args.workers, timeout=args.timeout,
+        budget_seconds=args.budget,
+    )
+    aggregate = merge_campaign(campaign)
+    for family, stats in sorted(aggregate["families"].items()):
+        extra = ""
+        if family == "fuzz":
+            fuzz = aggregate["fuzz"]
+            extra = (f", {len(fuzz['findings'])} finding(s)"
+                     + (f", {len(fuzz['seeds_skipped'])} seed(s) skipped"
+                        if fuzz["seeds_skipped"] else ""))
+        print(f"  {family}: {stats['cells']} cells, {stats['ok']} ok, "
+              f"{stats['cells'] - stats['ok']} not ok{extra}")
+    for report in merged_check_reports(campaign.results):
+        print(report.summary())
+        if not report.passed:
+            print(report.first_failures())
+    for finding in aggregate.get("fuzz", {}).get("findings", ()):
+        print(f"  fuzz divergence seed={finding['seed']} "
+              f"offload={finding['offload']}: {finding['diff']}")
+    for failure in aggregate["failures"]:
+        print(f"  {failure['key']}: {failure['status'].upper()}"
+              + (f" ({failure['error']})" if failure["error"] else ""))
+    counts = aggregate["counts"]
+    timing = aggregate["timing"]
+    print(f"aggregate: {counts['ok']}/{counts['total']} ok "
+          f"(fail={counts['fail']} error={counts['error']} "
+          f"timeout={counts['timeout']} skipped={counts['skipped']}) "
+          f"in {timing['wall_seconds']:.2f}s "
+          f"({timing['cells_per_second']:.1f} cells/s)")
+    if args.profile:
+        print(_campaign_profile(aggregate, campaign))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(aggregate, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"aggregate written:  {args.json}")
+    return exit_code(aggregate)
+
+
+def _campaign_profile(aggregate: dict, campaign) -> str:
+    """Per-family timing profile (``campaign --profile``)."""
+    per_family: dict[str, list[float]] = {}
+    for result in campaign.results:
+        per_family.setdefault(result.family, []).append(
+            result.elapsed_seconds
+        )
+    lines = ["campaign profile:"]
+    for family, elapsed in sorted(per_family.items()):
+        busy = sum(elapsed)
+        lines.append(
+            f"  {family:8s} {len(elapsed):4d} cells  "
+            f"{busy:7.2f}s busy  "
+            f"{busy / len(elapsed) * 1000:8.1f} ms/cell"
+        )
+    wall = aggregate["timing"]["wall_seconds"]
+    busy_total = sum(sum(e) for e in per_family.values())
+    lines.append(f"  wall {wall:.2f}s, busy {busy_total:.2f}s, "
+                 f"utilization {busy_total / wall / campaign.workers:.0%} "
+                 f"of {campaign.workers} worker(s)")
+    slowest = sorted(campaign.results, key=lambda r: -r.elapsed_seconds)[:3]
+    for result in slowest:
+        lines.append(f"  slowest: {result.key} "
+                     f"{result.elapsed_seconds * 1000:.1f} ms "
+                     f"(attempts={result.attempts})")
+    return "\n".join(lines)
 
 
 def command_trace(args: argparse.Namespace) -> int:
@@ -385,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(verify)
     verify.add_argument("--states", type=int, default=16,
                         help="machine states per instruction (default 16)")
+    verify.add_argument("--workers", type=int, default=1,
+                        help="shard the sweep across N worker processes "
+                             "(default 1: serial in-process)")
+    verify.add_argument("--shard", default=None, metavar="I/M",
+                        help="run only shard I of M (for splitting the "
+                             "sweep across CI jobs)")
     verify.set_defaults(func=command_verify)
 
     fuzz = sub.add_parser("fuzz", help="differential fuzzing campaign")
@@ -393,7 +537,59 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--count", type=int, default=20)
     fuzz.add_argument("--length", type=int, default=30)
     fuzz.add_argument("--no-offload", action="store_true")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="S",
+                      help="campaign wall-clock budget in seconds; on "
+                           "expiry remaining seeds are reported as "
+                           "skipped (exit 3) instead of running unbounded")
     fuzz.set_defaults(func=command_fuzz)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded parallel campaign over verif/fuzz/chaos cells",
+    )
+    _add_platform_argument(campaign)
+    campaign.add_argument("--families", default="verif,fuzz,chaos",
+                          help="comma list of cell families to run "
+                               "(default: verif,fuzz,chaos)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (default 1: serial; the "
+                               "aggregate is identical at any count)")
+    campaign.add_argument("--timeout", type=float, default=120.0,
+                          help="per-cell wall timeout in seconds; a hung "
+                               "cell is killed, retried once, then "
+                               "reported (default 120)")
+    campaign.add_argument("--budget", type=float, default=None, metavar="S",
+                          help="campaign wall-clock budget; unfinished "
+                               "cells are reported as skipped")
+    campaign.add_argument("--shard", default=None, metavar="I/M",
+                          help="run only shard I of M of the cell matrix")
+    campaign.add_argument("--json", default=None, metavar="FILE",
+                          help="write the aggregate report as JSON")
+    campaign.add_argument("--profile", action="store_true",
+                          help="print a per-family timing profile")
+    campaign.add_argument("--states", type=int, default=8,
+                          help="verif: machine states (default 8)")
+    campaign.add_argument("--fuzz-start", type=int, default=0)
+    campaign.add_argument("--fuzz-count", type=int, default=8)
+    campaign.add_argument("--fuzz-length", type=int, default=30)
+    campaign.add_argument("--fuzz-chunk", type=int, default=2,
+                          help="fuzz seeds per cell (default 2)")
+    campaign.add_argument("--no-offload", action="store_true",
+                          help="fuzz: disable fast-path offloading")
+    campaign.add_argument("--chaos-firmwares",
+                          default="opensbi,rustsbi,zephyr,malicious")
+    campaign.add_argument("--chaos-plans", default="random",
+                          help="comma list of fault plans (default: random)")
+    campaign.add_argument("--chaos-seeds", default="0",
+                          help="comma list of chaos seeds (default: 0)")
+    campaign.add_argument("--chaos-harts", type=int, default=None,
+                          metavar="N",
+                          help="run chaos cells at N harts under the SMP "
+                               "scheduler")
+    campaign.add_argument("--chaos-trace-dir", default=None, metavar="DIR",
+                          help="write a Chrome trace dump per chaos cell "
+                               "into DIR")
+    campaign.set_defaults(func=command_campaign)
 
     trace = sub.add_parser("trace", help="inspect a --trace=FILE document")
     trace.add_argument("file", help="trace JSON written by boot --trace=FILE")

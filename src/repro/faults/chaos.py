@@ -39,6 +39,15 @@ _CLEAN_HALTS = (
     "firmware quarantined",
 )
 
+#: Flight-recorder bound on :attr:`ChaosResult.trap_log`.  A long SMP
+#: chaos run records O(steps) trap events; carrying them all in the
+#: result is unbounded memory and a footgun once results cross process
+#: boundaries (the campaign runner pickles every ``ChaosResult``).  The
+#: last ``TRAP_LOG_LIMIT`` events plus ``trap_log_total`` preserve the
+#: determinism contract (identical runs still compare equal) and the
+#: end-of-run diagnosis window.
+TRAP_LOG_LIMIT = 128
+
 
 @dataclasses.dataclass
 class ChaosResult:
@@ -60,7 +69,10 @@ class ChaosResult:
     #: Per-hart trap-statistics recovery counts.
     stat_hart_recoveries: dict = dataclasses.field(default_factory=dict)
     injections: int = 0
+    #: Last :data:`TRAP_LOG_LIMIT` trap events (flight recorder); the
+    #: full count is ``trap_log_total``.
     trap_log: tuple = ()
+    trap_log_total: int = 0
     console: str = ""
     error: Optional[str] = None
 
@@ -273,9 +285,10 @@ def run_chaos(
             hartid: dict(counts)
             for hartid, counts in machine.stats.recovery_counts_by_hart.items()
         }
+        result.trap_log_total = len(machine.stats.events)
         result.trap_log = tuple(
             (e.cause, e.is_interrupt, e.handler, e.detail)
-            for e in machine.stats.events
+            for e in machine.stats.events[-TRAP_LOG_LIMIT:]
         )
     if miralis is not None and miralis.watchdog is not None:
         result.recoveries = dict(miralis.watchdog.counters)

@@ -255,19 +255,81 @@ def fuzz_scenario(seed: int, length: int = 40,
     return None
 
 
+@dataclasses.dataclass
+class FuzzCampaignResult:
+    """Outcome of a (possibly budget-limited) fuzz campaign.
+
+    The per-case budgets bound one scenario, but nothing used to bound
+    the *campaign*: a pathological seed range could run for hours and, if
+    aborted externally, the un-run seeds vanished into an implicit pass.
+    ``seeds_skipped`` makes the abort explicit — a campaign that hit its
+    deadline is incomplete, not clean.
+    """
+
+    findings: list[FuzzFinding] = dataclasses.field(default_factory=list)
+    seeds_run: list[int] = dataclasses.field(default_factory=list)
+    seeds_skipped: list[int] = dataclasses.field(default_factory=list)
+    deadline_hit: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.seeds_skipped
+
+    @property
+    def clean(self) -> bool:
+        """No divergence found *and* every seed actually ran."""
+        return not self.findings and self.complete
+
+
+def run_fuzz_campaign(seeds, length: int = 40,
+                      platform: PlatformConfig = VISIONFIVE2,
+                      offload: bool = True,
+                      max_dispatches: int = MAX_DISPATCHES_PER_CASE,
+                      wall_seconds: float = WALL_SECONDS_PER_CASE,
+                      campaign_seconds: Optional[float] = None,
+                      ) -> FuzzCampaignResult:
+    """Run a seed range under an optional campaign-level wall deadline.
+
+    ``campaign_seconds`` bounds the whole campaign: once the deadline
+    passes, remaining seeds are not run but are *reported* in
+    ``seeds_skipped`` (the checked deadline is campaign-level, so one
+    slow-but-within-budget case never hides later seeds silently).
+    """
+    import time
+
+    result = FuzzCampaignResult()
+    start = time.monotonic()
+    deadline = None if campaign_seconds is None else start + campaign_seconds
+    pending = list(seeds)
+    for index, seed in enumerate(pending):
+        if deadline is not None and time.monotonic() >= deadline:
+            result.deadline_hit = True
+            result.seeds_skipped = pending[index:]
+            break
+        finding = fuzz_scenario(seed, length=length, platform=platform,
+                                offload=offload,
+                                max_dispatches=max_dispatches,
+                                wall_seconds=wall_seconds)
+        result.seeds_run.append(seed)
+        if finding is not None:
+            result.findings.append(finding)
+    result.elapsed_seconds = time.monotonic() - start
+    return result
+
+
 def fuzz_campaign(seeds: range, length: int = 40,
                   platform: PlatformConfig = VISIONFIVE2,
                   offload: bool = True,
                   max_dispatches: int = MAX_DISPATCHES_PER_CASE,
                   wall_seconds: float = WALL_SECONDS_PER_CASE,
                   ) -> list[FuzzFinding]:
-    """Run a seed range; returns all findings (empty = no divergence)."""
-    findings = []
-    for seed in seeds:
-        finding = fuzz_scenario(seed, length=length, platform=platform,
-                                offload=offload,
-                                max_dispatches=max_dispatches,
-                                wall_seconds=wall_seconds)
-        if finding is not None:
-            findings.append(finding)
-    return findings
+    """Run a seed range; returns all findings (empty = no divergence).
+
+    Compatibility shim over :func:`run_fuzz_campaign`; callers that need
+    a campaign deadline or the skipped-seed report use the latter.
+    """
+    return run_fuzz_campaign(
+        seeds, length=length, platform=platform, offload=offload,
+        max_dispatches=max_dispatches, wall_seconds=wall_seconds,
+    ).findings

@@ -36,13 +36,21 @@ def _reference_m_level(mip, mie, mideleg, mode, global_mie, global_sie):
     return choice
 
 
-def run_interrupt_check(platform, task: str = "virtual-interrupt") -> CheckReport:
-    """Exhaustive interrupt-space comparison for both worlds."""
+def run_interrupt_check(platform, task: str = "virtual-interrupt",
+                        mip_selectors=None) -> CheckReport:
+    """Exhaustive interrupt-space comparison for both worlds.
+
+    ``mip_selectors`` (an iterable of pending-pattern indices) restricts
+    the sweep to one shard of the space; see
+    :func:`repro.verif.spaces.interrupt_space`.
+    """
     from repro.verif.spaces import interrupt_space
 
     report = CheckReport(task=task)
     start = time.perf_counter()
-    for mip, mie, mideleg, global_mie, global_sie in interrupt_space():
+    for mip, mie, mideleg, global_mie, global_sie in interrupt_space(
+        mip_selectors
+    ):
         for world in (World.FIRMWARE, World.OS):
             vctx = VirtContext(platform, hartid=0)
             vctx.mip = mip

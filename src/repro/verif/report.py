@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Iterable, Optional
+
+
+def _fmt(value):
+    return f"{value:#x}" if isinstance(value, int) else repr(value)
 
 
 @dataclasses.dataclass
@@ -17,16 +21,28 @@ class Divergence:
     context: str = ""
 
     def __str__(self) -> str:
-        def fmt(value):
-            return f"{value:#x}" if isinstance(value, int) else repr(value)
-
         message = (
-            f"[{self.check}] {self.field}: spec={fmt(self.expected)} "
-            f"vfm={fmt(self.actual)}"
+            f"[{self.check}] {self.field}: spec={_fmt(self.expected)} "
+            f"vfm={_fmt(self.actual)}"
         )
         if self.context:
             message += f" ({self.context})"
         return message
+
+    def sort_key(self) -> tuple:
+        """Order by input identity (context names the input), never by the
+        order shard workers happened to finish in."""
+        return (self.check, self.context, self.field,
+                _fmt(self.expected), _fmt(self.actual))
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "field": self.field,
+            "expected": _fmt(self.expected),
+            "actual": _fmt(self.actual),
+            "context": self.context,
+        }
 
 
 @dataclasses.dataclass
@@ -55,3 +71,34 @@ class CheckReport:
 
     def first_failures(self, limit: int = 5) -> str:
         return "\n".join(str(d) for d in self.divergences[:limit])
+
+    def to_dict(self, include_timing: bool = True) -> dict:
+        """JSON-stable view (campaign cell payloads, ``--json`` reports)."""
+        doc = {
+            "task": self.task,
+            "inputs_checked": self.inputs_checked,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+        if include_timing:
+            doc["elapsed_seconds"] = self.elapsed_seconds
+        return doc
+
+
+def merge_reports(reports: Iterable[CheckReport]) -> list[CheckReport]:
+    """Merge per-shard reports into one :class:`CheckReport` per task.
+
+    The merge is order-independent: ``inputs_checked`` and
+    ``elapsed_seconds`` sum, and divergences are re-sorted by input key
+    (:meth:`Divergence.sort_key`), so the aggregate is identical no matter
+    how the sweep was sharded or in which order workers completed.  Tasks
+    come out sorted by name.
+    """
+    merged: dict[str, CheckReport] = {}
+    for report in reports:
+        into = merged.setdefault(report.task, CheckReport(task=report.task))
+        into.inputs_checked += report.inputs_checked
+        into.elapsed_seconds += report.elapsed_seconds
+        into.divergences.extend(report.divergences)
+    for report in merged.values():
+        report.divergences.sort(key=Divergence.sort_key)
+    return [merged[task] for task in sorted(merged)]

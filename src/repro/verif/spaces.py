@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 from repro.isa import constants as c
 from repro.isa.instructions import Instruction
@@ -73,14 +73,21 @@ def mstatus_space() -> list[int]:
     return values
 
 
-def interrupt_space() -> Iterator[tuple[int, int, int, bool, bool]]:
+def interrupt_space(
+    mip_selectors: Optional[Iterable[int]] = None,
+) -> Iterator[tuple[int, int, int, bool, bool]]:
     """(mip, mie, mideleg, MIE, SIE) combinations over the six interrupts.
 
     Exhaustive over per-interrupt pending x enabled plus global enables —
     the space whose mishandling loses virtual interrupts (§6.5).
+    ``mip_selectors`` restricts the sweep to a subset of the 64 pending
+    patterns, which is how the campaign runner shards this space; the
+    default covers all of them.
     """
     interrupt_bits = [1 << irq for irq in c.INTERRUPT_PRIORITY]
-    for mip_selector in range(1 << 6):
+    if mip_selectors is None:
+        mip_selectors = range(1 << 6)
+    for mip_selector in mip_selectors:
         mip = sum(bit for i, bit in enumerate(interrupt_bits) if mip_selector >> i & 1)
         for mie_selector in (0, 0b111111, 0b101010, 0b010101, mip_selector):
             mie = sum(

@@ -143,3 +143,86 @@ class TestBootFailureDiagnosis:
         diagnosis = [line for line in out.splitlines()
                      if line.startswith("boot failed:")]
         assert len(diagnosis) == 1
+
+
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.families == "verif,fuzz,chaos"
+        assert args.workers == 1 and args.timeout == 120.0
+        assert args.shard is None and args.json is None
+
+    def test_shard_spec_validated(self):
+        from repro.cli import _parse_shard
+
+        assert _parse_shard("1/4") == (1, 4)
+        assert _parse_shard(None) is None
+        for bad in ("4/4", "x/2", "2", "-1/2"):
+            with pytest.raises(SystemExit):
+                _parse_shard(bad)
+
+    def test_mini_campaign_runs_clean(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "aggregate.json"
+        code = main(["campaign", "--families", "fuzz,chaos",
+                     "--fuzz-count", "2", "--fuzz-length", "15",
+                     "--chaos-firmwares", "zephyr",
+                     "--chaos-plans", "none", "--workers", "2",
+                     "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out and "aggregate:" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == "repro-campaign-v1"
+        assert doc["counts"]["total"] == doc["counts"]["ok"]
+
+    def test_sharded_campaign_partitions_cells(self, capsys):
+        # Shards 0/2 and 1/2 of the same matrix are disjoint and cover it.
+        total = 0
+        for index in (0, 1):
+            assert main(["campaign", "--families", "chaos",
+                         "--chaos-firmwares", "zephyr",
+                         "--chaos-plans", "none,flaky-uart,decode-flip",
+                         "--chaos-seeds", "3,4",
+                         "--shard", f"{index}/2"]) == 0
+            header = [line for line in capsys.readouterr().out.splitlines()
+                      if line.startswith("campaign:")][0]
+            total += int(header.split()[1])
+        assert total == 6
+
+    def test_unknown_family_rejected(self, capsys):
+        assert main(["campaign", "--families", "verif,nonsense"]) == 2
+        assert "unknown families" in capsys.readouterr().out
+
+    def test_budget_exhaustion_exits_3(self, capsys):
+        code = main(["campaign", "--families", "chaos",
+                     "--chaos-firmwares", "opensbi,zephyr",
+                     "--chaos-plans", "none,random",
+                     "--budget", "0"])
+        assert code == 3
+        assert "skipped=4" in capsys.readouterr().out
+
+
+class TestVerifyWorkersOption:
+    def test_parallel_verify_matches_serial(self, capsys):
+        import re
+
+        def normalized(text):
+            # Elapsed seconds are measurement noise, not results.
+            return re.sub(r"in \d+\.\d+s", "in _s", text)
+
+        assert main(["verify", "--states", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["verify", "--states", "2", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert normalized(parallel) == normalized(serial)
+        assert serial.count("PASS") == 3
+
+
+class TestFuzzBudgetOption:
+    def test_zero_budget_exits_3(self, capsys):
+        assert main(["fuzz", "--count", "4", "--budget", "0"]) == 3
+        out = capsys.readouterr().out
+        assert "0 scenarios" in out
+        assert "4 seed(s) skipped" in out
