@@ -168,6 +168,8 @@ def _run_verif_cell(params: dict) -> tuple[str, dict]:
     platform = PLATFORMS[params["platform"]]
     subspace = params["subspace"]
     start, stop = params["start"], params["stop"]
+    if subspace == "emulation" and params.get("states") is None:
+        raise ValueError("emulation cells require a 'states' param")
     if subspace == "emulation":
         from repro.spec.csrs import known_csr_addresses
 
@@ -191,10 +193,16 @@ def _run_verif_cell(params: dict) -> tuple[str, dict]:
         report = run_execution_check(system, configs)
     else:
         raise ValueError(f"unknown verif subspace {subspace!r}")
-    return (
-        "ok" if report.passed else "fail",
-        {"report": report.to_dict()},
-    )
+    payload = {"report": report.to_dict()}
+    if not report.passed:
+        from repro.triage.bundle import bundle_from_verif
+
+        payload["bundle"] = bundle_from_verif(
+            report.to_dict(include_timing=False),
+            platform=params["platform"], params=params,
+            source="campaign:verif",
+        )
+    return ("ok" if report.passed else "fail"), payload
 
 
 # -- fuzz family -------------------------------------------------------------
@@ -231,6 +239,8 @@ def _run_fuzz_cell(params: dict) -> tuple[str, dict]:
         offload=params["offload"],
         campaign_seconds=params.get("budget_seconds"),
     )
+    from repro.triage.bundle import bundle_from_fuzz
+
     findings = []
     for finding in result.findings:
         differing = {
@@ -242,6 +252,14 @@ def _run_fuzz_cell(params: dict) -> tuple[str, dict]:
             "seed": finding.scenario.seed,
             "offload": finding.offload,
             "diff": differing,
+            # The decoded input itself — a finding naming only the seed
+            # is not actionable without re-running the generator.
+            "steps": [[action, operand]
+                      for action, operand in finding.steps],
+            "bundle": bundle_from_fuzz(
+                finding, platform=params["platform"],
+                length=params["length"], source="campaign:fuzz",
+            ),
         })
     findings.sort(key=lambda f: (f["seed"], f["offload"]))
     payload = {
@@ -324,6 +342,16 @@ def _run_chaos_cell(params: dict) -> tuple[str, dict]:
         "trap_log_total": result.trap_log_total,
         "error": result.error,
     }
+    if not result.ok or result.quarantined or result.error is not None:
+        # Quarantines count as "ok" under the chaos contract, but the
+        # watchdog pulling the plug is exactly the event worth a repro
+        # bundle — the chaos suite's deterministic failure source.
+        from repro.triage.bundle import bundle_from_chaos
+
+        payload["bundle"] = bundle_from_chaos(
+            result, platform=params["platform"], harts=params["harts"],
+            source="campaign:chaos", tracer=tracer,
+        )
     return ("ok" if result.ok else "fail"), payload
 
 
@@ -355,7 +383,29 @@ def _run_stall_cell(params: dict) -> tuple[str, dict]:
     return "ok", {"index": params["index"], "seconds": params["seconds"]}
 
 
+# -- triage-replay family (the shrinker's candidate evaluator) ---------------
+
+def _run_triage_cell(params: dict) -> tuple[str, dict]:
+    """Replay one candidate bundle; used by the delta-debugging shrinker
+    to batch candidates through the pool (parallelism + per-candidate
+    timeouts).  Always returns "ok" — reproduction is in the payload's
+    ``matches``, not the cell status — so a *non*-reproducing candidate
+    is not confused with a broken cell."""
+    import json
+
+    from repro.triage.replay import replay_bundle
+
+    bundle = json.loads(params["bundle_json"])
+    replay = replay_bundle(bundle)
+    return "ok", {
+        "index": params["index"],
+        "matches": replay.matches,
+        "digest": replay.replayed.get("digest"),
+    }
+
+
 register_family("verif", _run_verif_cell)
 register_family("fuzz", _run_fuzz_cell)
 register_family("chaos", _run_chaos_cell)
 register_family("stall", _run_stall_cell)
+register_family("triage-replay", _run_triage_cell)

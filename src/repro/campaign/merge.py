@@ -13,7 +13,9 @@ from sorted, JSON-stable data:
   divergences re-sort by input key;
 * fuzz findings sort by ``(seed, offload)`` and skipped seeds are
   carried, never dropped;
-* chaos summaries sort by cell key.
+* chaos summaries sort by cell key;
+* failures deduplicate by triage signature into ``failure_groups``
+  ("3 distinct failures × N occurrences"), sorted by digest.
 """
 
 from __future__ import annotations
@@ -79,12 +81,19 @@ def merge_campaign(campaign: CampaignResult) -> dict:
             "attempts": result.attempts,
             "worker": result.worker,
         }
+    from repro.triage.dedup import group_failures
+
     aggregate = {
         "schema": SCHEMA,
         "counts": counts,
         "families": families,
         "cells": cells,
         "failures": failures,
+        # Signature-based deduplication: one entry per *distinct*
+        # failure, each listing its occurrences.  Deterministic (sorted
+        # by digest, sorted member keys) and therefore part of the
+        # canonical aggregate.
+        "failure_groups": group_failures(campaign.results),
     }
 
     verif_results = campaign.by_family("verif")
@@ -134,6 +143,7 @@ def merge_campaign(campaign: CampaignResult) -> dict:
 
     aggregate["timing"] = {
         "workers": campaign.workers,
+        "interrupted": campaign.interrupted,
         "wall_seconds": campaign.wall_seconds,
         "cells_per_second": (
             counts["total"] / campaign.wall_seconds
@@ -173,7 +183,11 @@ def canonical_json(aggregate: dict) -> str:
 
 def exit_code(aggregate: dict) -> int:
     """Process exit status for a campaign: 0 clean, 1 failures, 3 when
-    the only defect is incompleteness (skipped cells/seeds)."""
+    the run is incomplete (a SIGINT drain, or skipped cells/seeds).
+    Incompleteness wins over failure: a partial aggregate's verdict is
+    not final, so callers must rerun before trusting a 1-vs-0 answer."""
+    if aggregate.get("timing", {}).get("interrupted"):
+        return 3
     counts = aggregate["counts"]
     if counts["fail"] or counts["error"] or counts["timeout"]:
         return 1
@@ -181,5 +195,7 @@ def exit_code(aggregate: dict) -> int:
         return 3
     fuzz = aggregate.get("fuzz")
     if fuzz is not None and fuzz["seeds_skipped"]:
+        return 3
+    if aggregate.get("timing", {}).get("interrupted"):
         return 3
     return 0

@@ -24,6 +24,16 @@ A campaign-level ``budget_seconds`` deadline stops dispatching and marks
 every unfinished cell ``status="skipped"`` — mirroring the fuzz
 campaign's red-first fix: an aborted campaign is visibly incomplete,
 never a silent pass.
+
+With ``handle_sigint=True`` the same incomplete-is-visible rule covers
+a ^C: instead of a KeyboardInterrupt traceback that loses every
+completed cell, the parent **drains** — in-flight cells finish (bounded
+by the per-cell timeout), nothing new is dispatched, the remaining
+cells are marked ``skipped``, and the partial result comes back with
+``interrupted=True`` so the CLI can still write its aggregate and exit
+with the incomplete status (3).  Workers ignore SIGINT themselves: a
+terminal ^C signals the whole process group, and the drain decision
+belongs to the parent alone.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import queue as queue_module
+import signal
 import time
 from collections import deque
 from typing import Callable, Iterable, Optional
@@ -69,6 +80,9 @@ class CampaignResult:
     results: list[CellResult]
     workers: int
     wall_seconds: float = 0.0
+    #: True when a SIGINT drained the run early (``handle_sigint=True``);
+    #: every cell still has a result — unfinished ones are ``skipped``.
+    interrupted: bool = False
 
     def counts(self) -> dict:
         counts = {status: 0 for status in _TERMINAL}
@@ -98,8 +112,13 @@ def _execute_one(cell: CampaignCell, worker: Optional[int]) -> CellResult:
         )
 
 
-def _shard_main(worker_id: int, cells: list[CampaignCell], results) -> None:
+def _shard_main(worker_id: int, cells: list[CampaignCell], results,
+                ignore_sigint: bool = False) -> None:
     """Worker entry point: run the shard's cells in key order."""
+    if ignore_sigint:
+        # A terminal ^C hits the whole process group; the parent owns
+        # the drain decision, so workers must not die mid-cell to it.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
     for cell in cells:
         results.put(("start", worker_id, cell.key, None))
         results.put(("done", worker_id, cell.key,
@@ -110,20 +129,23 @@ def _shard_main(worker_id: int, cells: list[CampaignCell], results) -> None:
 class _Worker:
     """Parent-side bookkeeping for one shard worker."""
 
-    def __init__(self, worker_id: int, cells: list[CampaignCell]):
+    def __init__(self, worker_id: int, cells: list[CampaignCell],
+                 ignore_sigint: bool = False):
         self.worker_id = worker_id
         self.pending: deque[CampaignCell] = deque(cells)
         self.process = None
         self.current: Optional[str] = None
         self.started_at: float = 0.0
         self.exited = False
+        self.ignore_sigint = ignore_sigint
 
     def spawn(self, ctx, results) -> None:
         self.current = None
         self.exited = False
         self.process = ctx.Process(
             target=_shard_main,
-            args=(self.worker_id, list(self.pending), results),
+            args=(self.worker_id, list(self.pending), results,
+                  self.ignore_sigint),
             daemon=True,
         )
         self.process.start()
@@ -150,36 +172,67 @@ def run_campaign(cells: Iterable[CampaignCell], workers: int = 1,
                  retries: int = 1,
                  budget_seconds: Optional[float] = None,
                  progress: Optional[Callable[[CellResult], None]] = None,
+                 handle_sigint: bool = False,
                  ) -> CampaignResult:
     """Run ``cells`` on ``workers`` processes; always returns every cell.
 
     Cells are executed in key order within each shard; results are
     keyed and merged by cell key, so the outcome is independent of
     worker count and completion order (see :mod:`repro.campaign.merge`).
+
+    ``handle_sigint=True`` (CLI runs, main thread only) converts ^C
+    into a graceful drain: in-flight cells finish, the rest are marked
+    ``skipped``, and the result carries ``interrupted=True``.
     """
     ordered = sorted(cells, key=lambda cell: cell.key)
     if len({cell.key for cell in ordered}) != len(ordered):
         raise ValueError("duplicate cell keys in campaign")
     start = time.monotonic()
     deadline = None if budget_seconds is None else start + budget_seconds
-    if workers <= 1:
-        results = _run_serial(ordered, deadline, progress)
-    else:
-        results = _run_pool(ordered, workers, timeout, retries, deadline,
-                            progress)
+    interrupted = _InterruptFlag()
+    previous_handler = None
+    if handle_sigint:
+        previous_handler = signal.signal(signal.SIGINT, interrupted.trip)
+    try:
+        if workers <= 1:
+            results = _run_serial(ordered, deadline, progress, interrupted)
+        else:
+            results = _run_pool(ordered, workers, timeout, retries, deadline,
+                                progress, interrupted, handle_sigint)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGINT, previous_handler)
     results.sort(key=lambda r: r.key)
     return CampaignResult(results=results, workers=max(1, workers),
-                          wall_seconds=time.monotonic() - start)
+                          wall_seconds=time.monotonic() - start,
+                          interrupted=interrupted.tripped)
 
 
-def _skipped(cell: CampaignCell) -> CellResult:
+class _InterruptFlag:
+    """Signal-handler-safe latch; doubles as a no-op when not installed."""
+
+    def __init__(self):
+        self.tripped = False
+
+    def trip(self, signum=None, frame=None) -> None:
+        self.tripped = True
+
+
+def _skipped(cell: CampaignCell, interrupted: bool = False) -> CellResult:
+    reason = ("campaign interrupted (SIGINT) before this cell ran"
+              if interrupted
+              else "campaign budget exhausted before this cell ran")
     return CellResult(key=cell.key, family=cell.family, status="skipped",
-                      error="campaign budget exhausted before this cell ran")
+                      error=reason)
 
 
-def _run_serial(ordered, deadline, progress) -> list[CellResult]:
+def _run_serial(ordered, deadline, progress, interrupted) -> list[CellResult]:
     results = []
     for index, cell in enumerate(ordered):
+        if interrupted.tripped:
+            results.extend(_skipped(c, interrupted=True)
+                           for c in ordered[index:])
+            break
         if deadline is not None and time.monotonic() >= deadline:
             results.extend(_skipped(c) for c in ordered[index:])
             break
@@ -191,13 +244,14 @@ def _run_serial(ordered, deadline, progress) -> list[CellResult]:
 
 
 def _run_pool(ordered, workers, timeout, retries, deadline,
-              progress) -> list[CellResult]:
+              progress, interrupted, handle_sigint=False) -> list[CellResult]:
     ctx = _campaign_context()
     results_queue = ctx.Queue()
     shards: dict[int, list[CampaignCell]] = {}
     for cell in ordered:
         shards.setdefault(shard_of(cell.key, workers), []).append(cell)
-    pool = {wid: _Worker(wid, cells) for wid, cells in shards.items()}
+    pool = {wid: _Worker(wid, cells, ignore_sigint=handle_sigint)
+            for wid, cells in shards.items()}
     attempts: dict[str, int] = {cell.key: 0 for cell in ordered}
     finished: dict[str, CellResult] = {}
     for worker in pool.values():
@@ -226,7 +280,7 @@ def _run_pool(ordered, workers, timeout, retries, deadline,
                     worker=worker.worker_id,
                 ))
         worker.current = None
-        if worker.pending:
+        if worker.pending and not interrupted.tripped:
             worker.spawn(ctx, results_queue)
         else:
             worker.exited = True
@@ -238,6 +292,17 @@ def _run_pool(ordered, workers, timeout, retries, deadline,
                     worker.kill()
                     worker.exited = True
             break
+        if interrupted.tripped:
+            # Drain: idle workers stop now; a worker with an in-flight
+            # cell keeps running until its "done" arrives (or the
+            # per-cell timeout fires) — finished work is never thrown
+            # away, and nothing new is dispatched.
+            for worker in pool.values():
+                if not worker.exited and worker.current is None:
+                    worker.kill()
+                    worker.exited = True
+            if all(worker.exited for worker in pool.values()):
+                break
         try:
             kind, wid, key, payload = results_queue.get(timeout=0.05)
         except queue_module.Empty:
@@ -259,7 +324,7 @@ def _run_pool(ordered, workers, timeout, retries, deadline,
                     if worker.current is not None:
                         fail_current(worker, "error",
                                      f"worker died (exitcode {code})")
-                    elif worker.pending:
+                    elif worker.pending and not interrupted.tripped:
                         worker.spawn(ctx, results_queue)
                     else:
                         worker.exited = True
@@ -276,6 +341,10 @@ def _run_pool(ordered, workers, timeout, retries, deadline,
                 worker.pending.popleft()
             if worker.current == key:
                 worker.current = None
+            if interrupted.tripped:
+                # The in-flight cell just drained; this worker is done.
+                worker.kill()
+                worker.exited = True
         elif kind == "exit":
             if not worker.pending:
                 worker.exited = True
@@ -283,8 +352,8 @@ def _run_pool(ordered, workers, timeout, retries, deadline,
 
     results = list(finished.values())
     done_keys = set(finished)
-    results.extend(_skipped(cell) for cell in ordered
-                   if cell.key not in done_keys)
+    results.extend(_skipped(cell, interrupted=interrupted.tripped)
+                   for cell in ordered if cell.key not in done_keys)
     results_queue.close()
     results_queue.cancel_join_thread()
     return results

@@ -11,6 +11,9 @@ Subcommands:
 * ``campaign`` — run the verif/fuzz/chaos families as one sharded,
   parallel campaign with a deterministic aggregate report.
 * ``trace`` — inspect a trace file written by ``boot --trace=FILE``.
+* ``replay`` — re-execute a repro bundle deterministically; exits 0
+  only when the replayed failure signature matches byte-for-byte.
+* ``shrink`` — delta-debug a repro bundle down to a 1-minimal repro.
 """
 
 from __future__ import annotations
@@ -89,6 +92,18 @@ def command_chaos(args: argparse.Namespace) -> int:
     if result.console:
         print(result.console)
     print(result.report())
+    if args.bundle and (not result.ok or result.quarantined
+                        or result.error is not None):
+        from repro.triage import bundle_from_chaos, save_bundle
+
+        bundle = bundle_from_chaos(
+            result, platform=args.platform, harts=args.harts,
+            quantum=args.quantum, smp_jitter=args.smp_jitter,
+            source="boot:chaos", tracer=tracer,
+        )
+        save_bundle(bundle, args.bundle)
+        print(f"bundle written:   {args.bundle} "
+              f"(signature {bundle['signature']['digest'][:12]})")
     _finish_trace(args, tracer)
     return 0 if result.ok else 1
 
@@ -302,6 +317,21 @@ def command_fuzz(args: argparse.Namespace) -> int:
           f"{len(result.findings)} divergence(s)")
     for finding in result.findings:
         print(" ", finding)
+    if args.bundle_dir and result.findings:
+        import os
+
+        from repro.triage import bundle_from_fuzz, save_bundle
+        from repro.triage.bundle import bundle_filename
+
+        os.makedirs(args.bundle_dir, exist_ok=True)
+        for finding in result.findings:
+            bundle = bundle_from_fuzz(
+                finding, platform=args.platform, length=args.length,
+                source="fuzz",
+            )
+            path = os.path.join(args.bundle_dir, bundle_filename(bundle))
+            save_bundle(bundle, path)
+            print(f"  bundle written: {path}")
     if result.seeds_skipped:
         print(f"campaign budget hit after {result.elapsed_seconds:.1f}s: "
               f"{len(result.seeds_skipped)} seed(s) skipped "
@@ -360,11 +390,16 @@ def command_campaign(args: argparse.Namespace) -> int:
     print(f"campaign: {len(cells)} cells across "
           f"{len(set(c.family for c in cells))} families, "
           f"workers={args.workers}")
+    # ^C drains in-flight cells, marks the rest skipped, and still
+    # writes the partial aggregate below (exit 3, never a lost run).
     campaign = run_campaign(
         cells, workers=args.workers, timeout=args.timeout,
-        budget_seconds=args.budget,
+        budget_seconds=args.budget, handle_sigint=True,
     )
     aggregate = merge_campaign(campaign)
+    if campaign.interrupted:
+        print("campaign interrupted (SIGINT): in-flight cells drained, "
+              "remaining cells skipped")
     for family, stats in sorted(aggregate["families"].items()):
         extra = ""
         if family == "fuzz":
@@ -384,6 +419,20 @@ def command_campaign(args: argparse.Namespace) -> int:
     for failure in aggregate["failures"]:
         print(f"  {failure['key']}: {failure['status'].upper()}"
               + (f" ({failure['error']})" if failure["error"] else ""))
+    groups = aggregate["failure_groups"]
+    if groups:
+        from repro.triage.dedup import summarize_groups
+
+        print(f"deduplicated: {summarize_groups(groups)}")
+        for group in groups:
+            cause = (group.get("material") or {}).get("cause", "")
+            print(f"  {group['signature'][:12]} x{group['count']}: "
+                  f"{len(group['cells'])} cell(s)"
+                  + (f" — {cause}" if cause else ""))
+    if args.bundle_dir:
+        saved = _save_campaign_bundles(campaign, args.bundle_dir)
+        if saved:
+            print(f"bundles written: {saved} -> {args.bundle_dir}/")
     counts = aggregate["counts"]
     timing = aggregate["timing"]
     print(f"aggregate: {counts['ok']}/{counts['total']} ok "
@@ -399,6 +448,65 @@ def command_campaign(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"aggregate written:  {args.json}")
     return exit_code(aggregate)
+
+
+def _save_campaign_bundles(campaign, bundle_dir: str) -> int:
+    """Write every repro bundle the campaign's cells captured; bundles
+    are named by signature, so identical failures dedupe on disk."""
+    import os
+
+    from repro.triage.bundle import bundle_filename, save_bundle
+
+    os.makedirs(bundle_dir, exist_ok=True)
+    saved = 0
+    for result in campaign.results:
+        payload = result.payload if isinstance(result.payload, dict) else {}
+        bundles = []
+        if payload.get("bundle") is not None:
+            bundles.append(payload["bundle"])
+        for finding in payload.get("findings", ()):
+            if finding.get("bundle") is not None:
+                bundles.append(finding["bundle"])
+        for bundle in bundles:
+            save_bundle(bundle,
+                        os.path.join(bundle_dir, bundle_filename(bundle)))
+            saved += 1
+    return saved
+
+
+def command_replay(args: argparse.Namespace) -> int:
+    from repro.triage import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle {args.bundle!r}: {exc}")
+        return 2
+    print(f"replaying {bundle['kind']} bundle "
+          f"(signature {bundle['signature']['digest'][:12]}, "
+          f"source {bundle.get('source', '?')})")
+    replay = replay_bundle(bundle)
+    print(replay.report())
+    return 0 if replay.matches else 1
+
+
+def command_shrink(args: argparse.Namespace) -> int:
+    from repro.triage import load_bundle, save_bundle, shrink_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle {args.bundle!r}: {exc}")
+        return 2
+    outcome = shrink_bundle(
+        bundle, workers=args.workers, timeout=args.timeout,
+        progress=lambda line: print(f"  {line}"),
+    )
+    print(outcome.report())
+    out_path = args.output or args.bundle
+    save_bundle(outcome.bundle, out_path)
+    print(f"shrunk bundle written: {out_path}")
+    return 0
 
 
 def _campaign_profile(aggregate: dict, campaign) -> str:
@@ -484,6 +592,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "from the seed (default: random)")
     boot.add_argument("--chaos-seed", type=int, default=0,
                       help="seed for the deterministic fault injector")
+    boot.add_argument("--bundle", default=None, metavar="FILE",
+                      help="with --chaos: write a self-contained repro "
+                           "bundle if the run fails or quarantines "
+                           "(replay with 'repro replay FILE')")
     boot.add_argument("--firmware",
                       choices=["opensbi", "rustsbi", "zephyr", "malicious"],
                       default="opensbi",
@@ -541,6 +653,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="campaign wall-clock budget in seconds; on "
                            "expiry remaining seeds are reported as "
                            "skipped (exit 3) instead of running unbounded")
+    fuzz.add_argument("--bundle-dir", default=None, metavar="DIR",
+                      help="write a repro bundle per divergence into DIR")
     fuzz.set_defaults(func=command_fuzz)
 
     campaign = sub.add_parser(
@@ -589,7 +703,37 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--chaos-trace-dir", default=None, metavar="DIR",
                           help="write a Chrome trace dump per chaos cell "
                                "into DIR")
+    campaign.add_argument("--bundle-dir", default=None, metavar="DIR",
+                          help="write every captured repro bundle into DIR "
+                               "(named by failure signature)")
     campaign.set_defaults(func=command_campaign)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a repro bundle; exit 0 only on a byte-for-byte "
+             "signature match",
+    )
+    replay.add_argument("bundle", help="bundle JSON written by --bundle / "
+                                       "--bundle-dir / shrink")
+    replay.set_defaults(func=command_replay)
+
+    shrink = sub.add_parser(
+        "shrink",
+        help="delta-debug a repro bundle to a 1-minimal repro "
+             "(same failure signature, fewest fault specs / input steps)",
+    )
+    shrink.add_argument("bundle", help="bundle JSON to minimize")
+    shrink.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the shrunk bundle here instead of "
+                             "overwriting the input")
+    shrink.add_argument("--workers", type=int, default=2,
+                        help="campaign-pool workers for candidate replays "
+                             "(default 2; 1 = serial, no per-candidate "
+                             "timeout)")
+    shrink.add_argument("--timeout", type=float, default=60.0,
+                        help="per-candidate replay timeout in seconds "
+                             "(default 60)")
+    shrink.set_defaults(func=command_shrink)
 
     trace = sub.add_parser("trace", help="inspect a --trace=FILE document")
     trace.add_argument("file", help="trace JSON written by boot --trace=FILE")

@@ -68,6 +68,37 @@ class VirtualClint:
     def virtual_msip(self, hartid: int) -> bool:
         return bool(self.msip[hartid])
 
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot_hart(self, hartid: int) -> dict:
+        """This hart's shadow state (watchdog activation snapshots)."""
+        return {
+            "mtimecmp": self.mtimecmp[hartid],
+            "monitor_mtimecmp": self.monitor_mtimecmp[hartid],
+            "msip": self.msip[hartid],
+        }
+
+    def restore_hart(self, hartid: int, snap: dict) -> None:
+        self.mtimecmp[hartid] = snap["mtimecmp"]
+        self.monitor_mtimecmp[hartid] = snap["monitor_mtimecmp"]
+        self.msip[hartid] = snap["msip"]
+        self.program_physical_timer(hartid)
+
+    def snapshot(self) -> dict:
+        """All shadow state (replay-determinism round-trip tests)."""
+        return {
+            "mtimecmp": list(self.mtimecmp),
+            "monitor_mtimecmp": list(self.monitor_mtimecmp),
+            "msip": list(self.msip),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.mtimecmp = list(snap["mtimecmp"])
+        self.monitor_mtimecmp = list(snap["monitor_mtimecmp"])
+        self.msip = list(snap["msip"])
+        for hartid in range(self.machine.config.num_harts):
+            self.program_physical_timer(hartid)
+
     # -- MMIO emulation -----------------------------------------------------
 
     def contains(self, address: int) -> bool:

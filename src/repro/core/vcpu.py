@@ -119,6 +119,7 @@ class VirtContext:
         """Copy of all virtual state (used by verification and tests)."""
         return {
             "virtual_mode": self.virtual_mode,
+            "virtual_pmp_count": self.virtual_pmp_count,
             "mstatus": self.mstatus,
             "misa": self.misa,
             "mcycle": self.mcycle,

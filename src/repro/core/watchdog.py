@@ -57,6 +57,12 @@ class FirmwareWatchdog:
             Counter() for _ in range(num_harts)
         ]
         self.events: list[tuple[int, str, str]] = []
+        #: One structured record per quarantine decision — the raw
+        #: material for repro bundles (see :mod:`repro.triage`).  Each
+        #: record carries the hart, the reason, what activation was
+        #: abandoned, and a short trap-log tail so the bundle preserves
+        #: the flight-recorder window even without a tracer attached.
+        self.quarantine_records: list[dict] = []
         # Per-activation state.
         self._vm_traps = [0] * num_harts
         self._inject_depth = [0] * num_harts
@@ -83,9 +89,28 @@ class FirmwareWatchdog:
         self._fault_repeats[hartid] = 0
         self._violations[hartid] = 0
 
+    def _activation_snapshot(self, hart, vctx) -> dict:
+        """Everything a retry (or replay) must restore: the full virtual
+        context *and* this hart's virtual-CLINT shadows.  The per-hart
+        msip/mtimecmp shadows are activation state too — a retried
+        activation that inherited a half-programmed virtual timer or a
+        stale self-IPI would diverge from a fresh replay of the same
+        bundle."""
+        snap = {"vctx": vctx.snapshot()}
+        vclint = getattr(self.miralis, "vclint", None)
+        if vclint is not None:
+            snap["vclint"] = vclint.snapshot_hart(hart.hartid)
+        return snap
+
+    def _activation_restore(self, hart, vctx, snap: dict) -> None:
+        vctx.restore(snap["vctx"])
+        vclint = getattr(self.miralis, "vclint", None)
+        if vclint is not None and "vclint" in snap:
+            vclint.restore_hart(hart.hartid, snap["vclint"])
+
     def arm_boot(self, hart, vctx) -> None:
         """A firmware boot activation begins (cold boot or retry)."""
-        self._snapshots[hart.hartid] = vctx.snapshot()
+        self._snapshots[hart.hartid] = self._activation_snapshot(hart, vctx)
         self._pending[hart.hartid] = ("boot",)
         self._reset_activation(hart.hartid)
 
@@ -100,7 +125,7 @@ class FirmwareWatchdog:
 
         mpp = get_field(hart.state.csr.mstatus, c.MSTATUS_MPP)
         os_mode = c.PrivilegeLevel(mpp if mpp != 3 else 1)
-        self._snapshots[hart.hartid] = vctx.snapshot()
+        self._snapshots[hart.hartid] = self._activation_snapshot(hart, vctx)
         self._pending[hart.hartid] = (
             "trap", code, is_interrupt, mtval, mepc, os_mode
         )
@@ -220,7 +245,7 @@ class FirmwareWatchdog:
         self._trace(hartid, "retry", reason, attempt=attempt)
         backoff = self.config.retry_backoff_cycles * (1 << (attempt - 1))
         self.miralis._charge_host(hart, backoff)
-        vctx.restore(snapshot)
+        self._activation_restore(hart, vctx, snapshot)
         self._reset_activation(hartid)
         if pending[0] == "boot":
             self.miralis.reenter_firmware_boot(hart, vctx)
@@ -230,6 +255,23 @@ class FirmwareWatchdog:
                 hart, vctx, code, is_interrupt, mtval, mepc
             )
         raise FirmwareRecovered(reason)
+
+    #: Trap events preserved in a quarantine record (bundle tail).
+    RECORD_TAIL = 16
+
+    def _record_quarantine(self, hartid: int, reason: str, pending) -> None:
+        """Capture the repro-bundle material for one quarantine decision."""
+        self.quarantine_records.append({
+            "hart": hartid,
+            "reason": reason,
+            "activation": "boot" if pending is None or pending[0] == "boot"
+            else "trap",
+            "consecutive_failures": self.consecutive_failures[hartid],
+            "trap_tail": [
+                (e.cause, e.is_interrupt, e.handler, e.detail)
+                for e in self.machine.stats.events[-self.RECORD_TAIL:]
+            ],
+        })
 
     def _quarantine(self, hart, vctx, reason: str) -> None:
         hartid = hart.hartid
@@ -246,12 +288,13 @@ class FirmwareWatchdog:
             tracer.note_quarantine(reason)
         pending = self._pending[hartid]
         snapshot = self._snapshots[hartid]
+        self._record_quarantine(hartid, reason, pending)
         self._pending[hartid] = None
         self._snapshots[hartid] = None
         if (pending is not None and pending[0] == "trap"
                 and self.os_entered[hartid]):
             if snapshot is not None:
-                vctx.restore(snapshot)
+                self._activation_restore(hart, vctx, snapshot)
             # Drop the firmware's M-level interrupt enables: nothing will
             # service them again, and leaving them armed would storm.
             vctx.mie &= c.SIP_MASK
@@ -275,4 +318,5 @@ class FirmwareWatchdog:
             "hart_counters": [dict(per_hart) for per_hart in self.hart_counters],
             "quarantined": list(self.quarantined),
             "events": list(self.events),
+            "quarantine_records": [dict(r) for r in self.quarantine_records],
         }

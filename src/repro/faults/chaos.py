@@ -69,12 +69,23 @@ class ChaosResult:
     #: Per-hart trap-statistics recovery counts.
     stat_hart_recoveries: dict = dataclasses.field(default_factory=dict)
     injections: int = 0
+    #: Every committed injection as ``(site, index, detail)`` — the raw
+    #: material for repro-bundle failure signatures.
+    injection_log: tuple = ()
+    #: Watchdog quarantine records (hart, reason, pending kind) captured
+    #: at the moment of quarantine; see ``FirmwareWatchdog.quarantine_records``.
+    quarantine_log: tuple = ()
     #: Last :data:`TRAP_LOG_LIMIT` trap events (flight recorder); the
     #: full count is ``trap_log_total``.
     trap_log: tuple = ()
     trap_log_total: int = 0
     console: str = ""
     error: Optional[str] = None
+    #: The resolved fault plan as a plain document
+    #: (``FaultPlan.to_dict()``) — what a repro bundle needs to re-run
+    #: this exact run without access to the canned-plan registry.
+    #: ``None`` when plan resolution itself failed.
+    plan_spec: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -256,14 +267,23 @@ def run_chaos(
         raise ValueError(
             f"unknown firmware {firmware!r}; choose from {CHAOS_FIRMWARES}"
         )
-    smp = harts is not None
-    if smp:
-        platform = dataclasses.replace(platform, num_harts=harts)
-    resolved = resolve_plan(plan, seed=seed)
-    injector = FaultInjector(resolved, seed=seed)
-    result = ChaosResult(firmware=firmware, plan=resolved.name, seed=seed)
-    machine = miralis = None
+    plan_label = plan if isinstance(plan, str) else getattr(plan, "name", "?")
+    result = ChaosResult(firmware=str(firmware), plan=str(plan_label),
+                         seed=seed)
+    machine = miralis = injector = None
     try:
+        # Plan-constructor errors — a name that does not resolve, a
+        # malformed plan document, a spec naming an unknown injection
+        # site — are part of the "never raises" contract too: they become
+        # a structured ``error`` result rather than a traceback leaking
+        # out of the harness mid-campaign.
+        smp = harts is not None
+        if smp:
+            platform = dataclasses.replace(platform, num_harts=harts)
+        resolved = resolve_plan(plan, seed=seed)
+        result.plan = resolved.name
+        result.plan_spec = resolved.to_dict()
+        injector = FaultInjector(resolved, seed=seed)
         if firmware == "zephyr":
             machine, miralis, reason = _run_zephyr_chaos(
                 result, injector, platform, tracer=tracer
@@ -277,7 +297,12 @@ def run_chaos(
         result.halt_reason = reason
     except Exception as exc:  # noqa: BLE001 — the whole point: no leaks
         result.error = f"{type(exc).__name__}: {exc}"
-    result.injections = len(injector.injections)
+    if injector is not None:
+        result.injections = len(injector.injections)
+        result.injection_log = tuple(
+            (event.site, event.index, event.detail)
+            for event in injector.injections
+        )
     if machine is not None:
         result.console = machine.uart.text()
         result.stat_recoveries = dict(machine.stats.recovery_counts)
@@ -296,4 +321,8 @@ def run_chaos(
             dict(per_hart) for per_hart in miralis.watchdog.hart_counters
         ]
         result.quarantined = any(miralis.watchdog.quarantined)
+        result.quarantine_log = tuple(
+            tuple(sorted(record.items()))
+            for record in miralis.watchdog.quarantine_records
+        )
     return result

@@ -41,6 +41,12 @@ U64 = (1 << 64) - 1
 #: The injection sites an injector understands.
 SITES = ("vcsr-write", "mmio", "decode", "stall")
 
+#: Devices an ``mmio`` spec may target.
+MMIO_DEVICES = ("clint", "plic", "uart", "vclint")
+
+#: Access kinds an ``mmio`` spec may target.
+MMIO_KINDS = ("read", "write")
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultSpec:
@@ -69,9 +75,50 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.site not in SITES:
-            raise ValueError(f"unknown fault site {self.site!r}")
+            raise ValueError(
+                f"unknown fault site {self.site!r} (known: {', '.join(SITES)})"
+            )
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if self.device is not None and self.device not in MMIO_DEVICES:
+            raise ValueError(
+                f"unknown mmio device {self.device!r} "
+                f"(known: {', '.join(MMIO_DEVICES)})"
+            )
+        if self.kind is not None and self.kind not in MMIO_KINDS:
+            raise ValueError(
+                f"unknown mmio access kind {self.kind!r} "
+                f"(known: {', '.join(MMIO_KINDS)})"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (repro bundles); defaults are elided."""
+        doc: dict = {"site": self.site}
+        for field in ("probability", "after", "limit", "device", "kind",
+                      "csr", "xor_mask", "hart"):
+            value = getattr(self, field)
+            default = getattr(type(self), "__dataclass_fields__")[field].default
+            if value != default:
+                doc[field] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys (and unknown site/device/kind names, via
+        ``__post_init__``) raise ``ValueError`` here — at construction —
+        so a corrupt bundle or hand-edited plan never survives to
+        explode mid-chaos-run.
+        """
+        allowed = set(getattr(cls, "__dataclass_fields__"))
+        unknown = set(doc) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown FaultSpec fields {sorted(unknown)} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        return cls(**doc)
 
     def matches(self, **attrs) -> bool:
         for field in ("device", "kind", "csr", "hart"):
@@ -83,15 +130,49 @@ class FaultSpec:
 
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:
-    """A named set of fault triggers."""
+    """A named set of fault triggers.
+
+    Construction validates every spec: each entry must be a real
+    :class:`FaultSpec` (whose own ``__post_init__`` rejects unknown
+    site/device/kind names).  A plan that names a nonexistent injection
+    site therefore fails loudly *here*, not with a raw ``KeyError`` (or
+    ``AttributeError``) halfway through a chaos run.
+    """
 
     name: str
     specs: tuple[FaultSpec, ...] = ()
     description: str = ""
 
+    def __post_init__(self):
+        for index, spec in enumerate(self.specs):
+            if not isinstance(spec, FaultSpec):
+                raise ValueError(
+                    f"plan {self.name!r} spec #{index} is not a FaultSpec "
+                    f"(got {type(spec).__name__}); build specs with "
+                    f"FaultSpec(...) or FaultSpec.from_dict(...) so site "
+                    f"names are validated at construction"
+                )
+
     @property
     def sites(self) -> frozenset[str]:
         return frozenset(spec.site for spec in self.specs)
+
+    def to_dict(self) -> dict:
+        """JSON-stable form, round-tripped by :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        return cls(
+            name=doc["name"],
+            specs=tuple(FaultSpec.from_dict(spec)
+                        for spec in doc.get("specs", ())),
+            description=doc.get("description", ""),
+        )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -8,6 +8,7 @@ adding a scenario means adding an entry here, not new hook code.
 
 from __future__ import annotations
 
+import json
 import random
 
 from repro.faults.injector import FaultPlan, FaultSpec
@@ -70,10 +71,34 @@ STALL_LOOP = FaultPlan(
     "wedge the firmware in a runaway trap loop (tests the trap budget)",
 )
 
+#: A decision index no real run reaches: pads below arm a site without
+#: ever firing (and, with probability 1.0, without consuming RNG draws).
+_NEVER = 1_000_000_000
+
+#: The mtvec-smash core buried under seven dead fault specs spanning
+#: every injection site.  Exists for the triage shrinker: delta
+#: debugging must reduce this 8-spec plan back to its 1-minimal core
+#: while reproducing the byte-identical failure signature.
+PADDED_MTVEC = FaultPlan(
+    "padded-mtvec",
+    (
+        FaultSpec("mmio", device="clint", after=_NEVER),
+        FaultSpec("mmio", device="plic", after=_NEVER),
+        FaultSpec("vcsr-write", csr=c.CSR_MSCRATCH, after=_NEVER),
+        FaultSpec("vcsr-write", csr=c.CSR_MTVEC, limit=1,
+                  xor_mask=0x7F00_0000_0000),
+        FaultSpec("decode", after=_NEVER),
+        FaultSpec("mmio", device="uart", after=_NEVER),
+        FaultSpec("stall", after=_NEVER),
+        FaultSpec("mmio", device="vclint", after=_NEVER),
+    ),
+    "mtvec-smash padded with seven inert specs (shrinker exercise)",
+)
+
 PLANS: dict[str, FaultPlan] = {
     plan.name: plan
     for plan in (NONE, CSR_CHAOS, MTVEC_SMASH, TRANSIENT_MMIO,
-                 FLAKY_UART, DECODE_FLIP, STALL_LOOP)
+                 FLAKY_UART, DECODE_FLIP, STALL_LOOP, PADDED_MTVEC)
 }
 
 #: The fixed set the chaos suite runs per firmware (≥ 5 plans).
@@ -120,14 +145,24 @@ def random_plan(seed: int) -> FaultPlan:
 
 
 def resolve_plan(name_or_plan, seed: int = 0) -> FaultPlan:
-    """Look up a plan by name; ``"random"`` composes one from ``seed``."""
+    """Resolve a plan from any serializable form.
+
+    Accepts a :class:`FaultPlan`, a canned-plan name, ``"random"``
+    (composed from ``seed``), a plan dict (:meth:`FaultPlan.to_dict`
+    output, as carried by repro bundles), or that dict as a JSON string
+    (how shrink candidates cross the campaign-pool process boundary).
+    """
     if isinstance(name_or_plan, FaultPlan):
         return name_or_plan
+    if isinstance(name_or_plan, dict):
+        return FaultPlan.from_dict(name_or_plan)
+    if isinstance(name_or_plan, str) and name_or_plan.lstrip().startswith("{"):
+        return FaultPlan.from_dict(json.loads(name_or_plan))
     if name_or_plan == "random":
         return random_plan(seed)
     try:
         return PLANS[name_or_plan]
-    except KeyError:
+    except (KeyError, TypeError):
         known = ", ".join(sorted(PLANS) + ["random"])
         raise ValueError(
             f"unknown fault plan {name_or_plan!r} (known: {known})"

@@ -262,6 +262,16 @@ class Tracer:
         start = len(ring) - n if len(ring) > n else 0
         return self._materialize(list(ring)[start:])
 
+    def tail_tuples(self, n: int) -> list[tuple]:
+        """The last ``n`` events as plain JSON-stable tuples.
+
+        The flight-recorder form embedded in repro bundles
+        (:mod:`repro.triage`): each entry is ``(seq, kind, hart, mtime,
+        instret, ((arg, value), ...))`` — comparable, sorted-arg, and
+        serializable without the :class:`TraceEvent` wrapper.
+        """
+        return [event.to_tuple() for event in self.tail(n)]
+
     def note_quarantine(self, reason: str,
                         tail: Optional[int] = None) -> None:
         """Snapshot the last-N events leading up to a quarantine."""

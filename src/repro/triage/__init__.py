@@ -1,0 +1,68 @@
+"""Failure triage: repro bundles, shrinking, replay, deduplication.
+
+The campaign runner and chaos harness surface failures at scale, but a
+failure that dies with a one-line diagnosis is not *actionable* — the
+debugging loop the paper's Kani/Sail workflow provides needs the
+triggering trace to be a durable, replayable artifact.  This package
+closes that loop:
+
+* :mod:`repro.triage.signature` — the canonical **failure signature**:
+  a SHA-256 over the failure's cause/site/divergence *shape*, never over
+  timing, so identical bugs hash identically across runs, worker counts,
+  and machines.
+* :mod:`repro.triage.bundle` — self-contained JSON **repro bundles**
+  capturing config, fault plan, seeds, workload, flight-recorder tails,
+  and the signature, for chaos runs, fuzz findings, and verification
+  divergences alike.
+* :mod:`repro.triage.replay` — deterministic re-execution of a bundle;
+  the replay *matches* only if the re-derived signature is byte-for-byte
+  identical.
+* :mod:`repro.triage.shrink` — a delta-debugging (ddmin) shrinker that
+  minimizes a bundle's fault plan or fuzz input to a 1-minimal repro,
+  re-running candidates through the campaign pool with per-candidate
+  timeouts.
+* :mod:`repro.triage.dedup` — signature-based grouping so a 1000-cell
+  campaign reports "3 distinct failures × N occurrences" instead of N
+  raw failures.
+
+Surfaced as ``repro replay BUNDLE`` and ``repro shrink BUNDLE``, plus
+``--bundle``/``--bundle-dir`` flags on ``boot --chaos``, ``fuzz``, and
+``campaign``.
+"""
+
+from repro.triage.bundle import (
+    BUNDLE_SCHEMA,
+    bundle_from_chaos,
+    bundle_from_fuzz,
+    bundle_from_verif,
+    canonical_bundle_json,
+    load_bundle,
+    save_bundle,
+)
+from repro.triage.dedup import group_failures
+from repro.triage.replay import ReplayResult, replay_bundle
+from repro.triage.shrink import ShrinkOutcome, ddmin, shrink_bundle
+from repro.triage.signature import (
+    SIGNATURE_ALGO,
+    normalize_text,
+    signature_from_material,
+)
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "ReplayResult",
+    "SIGNATURE_ALGO",
+    "ShrinkOutcome",
+    "bundle_from_chaos",
+    "bundle_from_fuzz",
+    "bundle_from_verif",
+    "canonical_bundle_json",
+    "ddmin",
+    "group_failures",
+    "load_bundle",
+    "normalize_text",
+    "replay_bundle",
+    "save_bundle",
+    "shrink_bundle",
+    "signature_from_material",
+]

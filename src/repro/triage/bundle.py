@@ -1,0 +1,213 @@
+"""Repro bundles: self-contained, replayable failure captures.
+
+A bundle is a plain JSON document holding everything a fresh process on
+a fresh machine needs to re-run one failure deterministically:
+
+* ``config`` — platform name, firmware, harts, quantum, SMP jitter;
+* ``fault_plan`` — the *resolved* plan (``FaultPlan.to_dict()``), never
+  just a name, so replay does not depend on the canned-plan registry or
+  on the random-plan generator (a shrunk plan has no name at all);
+* ``seeds`` — the RNG seeds that drove the run;
+* ``workload`` — which workload ran; for fuzz bundles the *decoded*
+  input (the concrete (action, operand) step sequence);
+* ``failure`` — the structured outcome (halt/diff/divergences);
+* ``trap_log_tail`` / ``trace_tail`` — the flight-recorder windows for
+  human diagnosis (informational: excluded from the signature);
+* ``signature`` — the canonical failure identity
+  (:mod:`repro.triage.signature`).
+
+Bundles serialize through :func:`canonical_bundle_json` (sorted keys,
+compact separators), so byte-comparing two bundle files is meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.triage.signature import (
+    chaos_material,
+    fuzz_material,
+    signature_from_material,
+    verif_material,
+)
+
+#: Schema tag stamped into every bundle; replay refuses documents it
+#: does not understand instead of misinterpreting them.
+BUNDLE_SCHEMA = "repro-bundle-v1"
+
+#: Flight-recorder window sizes embedded in bundles.
+TRAP_TAIL = 64
+TRACE_TAIL = 64
+
+
+def _jsonable(value):
+    """Recursively convert tuples to lists so bundles round-trip through
+    JSON without surprising tuple-vs-list comparisons."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def bundle_from_chaos(result, *, platform: str, harts: Optional[int] = None,
+                      quantum: int = 50, smp_jitter: int = 0,
+                      source: str = "chaos", tracer=None) -> dict:
+    """Capture a failed (or quarantined) chaos run as a bundle.
+
+    ``result`` is a :class:`~repro.faults.chaos.ChaosResult`.  If plan
+    resolution itself failed (``result.plan_spec is None``) the bundle
+    records the unresolved plan input so replay reproduces the same
+    structured error.
+    """
+    if result.plan_spec is not None:
+        fault_plan = _jsonable(result.plan_spec)
+    else:
+        fault_plan = {"name": result.plan, "specs": None,
+                      "unresolved": result.plan}
+    bundle = {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "chaos",
+        "source": source,
+        "config": {
+            "platform": platform,
+            "firmware": result.firmware,
+            "harts": harts,
+            "quantum": quantum,
+            "smp_jitter": smp_jitter,
+        },
+        "seeds": {"seed": result.seed},
+        "fault_plan": fault_plan,
+        "workload": {
+            "name": "zephyr-suite" if result.firmware == "zephyr"
+            else "sbi-chaos",
+        },
+        "failure": {
+            "halt": result.halt_reason,
+            "error": result.error,
+            "ok": result.ok,
+            "checkpoint": result.checkpoint,
+            "quarantined": result.quarantined,
+            "injections": result.injections,
+            "injection_log": _jsonable(result.injection_log),
+            "quarantine_log": _jsonable(result.quarantine_log),
+            "recoveries": {key: result.recoveries[key]
+                           for key in sorted(result.recoveries)},
+        },
+        "trap_log_tail": _jsonable(result.trap_log[-TRAP_TAIL:]),
+        "trap_log_total": result.trap_log_total,
+        "signature": signature_from_material(chaos_material(result)),
+    }
+    if tracer is not None:
+        bundle["trace_tail"] = _jsonable(tracer.tail_tuples(TRACE_TAIL))
+    return bundle
+
+
+def bundle_from_fuzz(finding, *, platform: str, length: int,
+                     source: str = "fuzz",
+                     explicit_steps: bool = False) -> dict:
+    """Capture a :class:`~repro.verif.fuzz.FuzzFinding` as a bundle.
+
+    The workload embeds both the encoded input (seed, length) and its
+    decode (the concrete step sequence); ``explicit_steps`` marks
+    bundles whose steps no longer match the seed's decode (shrunk
+    inputs), telling replay to drive the explicit sequence.
+    """
+    diff = finding.diff()
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "fuzz",
+        "source": source,
+        "config": {
+            "platform": platform,
+            "length": length,
+            "offload": finding.offload,
+        },
+        "seeds": {"seed": finding.scenario.seed},
+        "workload": {
+            "name": "differential-fuzz",
+            "steps": _jsonable(finding.steps),
+            "explicit_steps": bool(explicit_steps),
+        },
+        "failure": {
+            "native": _jsonable(finding.native),
+            "virtualized": _jsonable(finding.virtualized),
+            "diff": {key: [repr(native), repr(virtual)]
+                     for key, (native, virtual) in sorted(diff.items())},
+        },
+        "signature": signature_from_material(fuzz_material(finding)),
+    }
+
+
+def bundle_from_verif(report_doc: dict, *, platform: str, params: dict,
+                      source: str = "verif") -> dict:
+    """Capture a failed verification subspace (cell payload form)."""
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "verif",
+        "source": source,
+        "config": {
+            "platform": platform,
+            "subspace": params.get("subspace"),
+            "states": params.get("states"),
+        },
+        "seeds": {},
+        "workload": {
+            "name": "verif-sweep",
+            "start": params.get("start"),
+            "stop": params.get("stop"),
+        },
+        "failure": {
+            "task": report_doc.get("task", ""),
+            "inputs_checked": report_doc.get("inputs_checked", 0),
+            "divergences": _jsonable(report_doc.get("divergences", ())),
+        },
+        "signature": signature_from_material(verif_material(report_doc)),
+    }
+
+
+# -- serialization -----------------------------------------------------------
+
+def canonical_bundle_json(bundle: dict) -> str:
+    """Byte-stable serialization (sorted keys, compact separators)."""
+    return json.dumps(_jsonable(bundle), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def save_bundle(bundle: dict, path: str) -> str:
+    """Write a bundle to ``path``; returns the path for chaining."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_bundle_json(bundle))
+    return path
+
+
+def load_bundle(path: str) -> dict:
+    """Read and validate a bundle file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    return validate_bundle(bundle)
+
+
+def validate_bundle(bundle: dict) -> dict:
+    """Schema/shape checks shared by :func:`load_bundle` and replay."""
+    if not isinstance(bundle, dict):
+        raise ValueError("bundle is not a JSON object")
+    schema = bundle.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise ValueError(
+            f"unsupported bundle schema {schema!r} (expected {BUNDLE_SCHEMA!r})"
+        )
+    for field in ("kind", "config", "signature"):
+        if field not in bundle:
+            raise ValueError(f"bundle missing required field {field!r}")
+    signature = bundle["signature"]
+    if "digest" not in signature or "material" not in signature:
+        raise ValueError("bundle signature missing digest/material")
+    return bundle
+
+
+def bundle_filename(bundle: dict) -> str:
+    """Deterministic file name: kind plus the first 12 digest hex chars."""
+    digest = bundle["signature"]["digest"]
+    return f"repro-{bundle['kind']}-{digest[:12]}.json"

@@ -1,0 +1,163 @@
+"""Deterministic bundle replay.
+
+``replay_bundle`` re-executes the run a bundle describes — same
+platform, same plan document, same seeds, same explicit input — then
+re-derives the failure signature from the *fresh* run and compares the
+digest byte-for-byte against the stored one.  A replay *matches* only
+on digest equality; "similar-looking" is not reproduction.
+
+The simulator has no wall-clock dependence and every RNG is seeded, so
+a genuine failure replays exactly; a mismatch means either the bug is
+gone (fixed code) or the bundle was edited into a different run — both
+are answers worth a nonzero exit status.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.triage.bundle import (
+    bundle_from_chaos,
+    bundle_from_fuzz,
+    bundle_from_verif,
+    validate_bundle,
+)
+from repro.triage.signature import signature_from_material
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Outcome of one replay: the fresh bundle plus the digest verdict."""
+
+    original: dict  # signature document from the input bundle
+    replayed: dict  # signature document re-derived from the fresh run
+    bundle: dict    # the fresh bundle (inspectable on mismatch)
+
+    @property
+    def matches(self) -> bool:
+        return (self.original.get("algo") == self.replayed.get("algo")
+                and self.original.get("digest") == self.replayed.get("digest"))
+
+    def report(self) -> str:
+        verdict = "MATCH" if self.matches else "MISMATCH"
+        lines = [
+            f"original: {self.original.get('digest')}",
+            f"replayed: {self.replayed.get('digest')}",
+            f"verdict:  {verdict}",
+        ]
+        if not self.matches:
+            lines.append(f"original material: {self.original.get('material')}")
+            lines.append(f"replayed material: {self.replayed.get('material')}")
+        return "\n".join(lines)
+
+
+def _replay_chaos(bundle: dict) -> dict:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.injector import FaultPlan
+    from repro.spec.platform import PLATFORMS
+
+    config = bundle["config"]
+    fault_plan = bundle.get("fault_plan", {})
+    if fault_plan.get("specs") is None:
+        # Plan resolution failed in the original run; feed the same
+        # unresolved input back so replay reproduces the same structured
+        # error result.
+        plan = fault_plan.get("unresolved", fault_plan.get("name", ""))
+    else:
+        plan = FaultPlan.from_dict(fault_plan)
+    result = run_chaos(
+        config["firmware"],
+        plan=plan,
+        seed=bundle.get("seeds", {}).get("seed", 0),
+        platform=PLATFORMS[config["platform"]],
+        harts=config.get("harts"),
+        quantum=config.get("quantum", 50),
+        smp_jitter=config.get("smp_jitter", 0),
+    )
+    return bundle_from_chaos(
+        result, platform=config["platform"], harts=config.get("harts"),
+        quantum=config.get("quantum", 50),
+        smp_jitter=config.get("smp_jitter", 0), source="replay",
+    )
+
+
+def _replay_fuzz(bundle: dict) -> dict:
+    from repro.spec.platform import PLATFORMS
+    from repro.verif.fuzz import fuzz_scenario
+
+    config = bundle["config"]
+    workload = bundle.get("workload", {})
+    explicit = bool(workload.get("explicit_steps"))
+    steps = workload.get("steps") if explicit else None
+    finding = fuzz_scenario(
+        bundle.get("seeds", {}).get("seed", 0),
+        length=config.get("length", 40),
+        platform=PLATFORMS[config["platform"]],
+        offload=config.get("offload", True),
+        steps=steps,
+    )
+    if finding is None:
+        # The divergence did not reproduce: derive a sentinel signature
+        # that can never equal a real fuzz signature.
+        material = {"kind": "fuzz", "clean": True,
+                    "seed": bundle.get("seeds", {}).get("seed", 0)}
+        return {
+            "schema": bundle["schema"], "kind": "fuzz", "source": "replay",
+            "config": dict(config), "seeds": dict(bundle.get("seeds", {})),
+            "workload": dict(workload),
+            "failure": None,
+            "signature": signature_from_material(material),
+        }
+    return bundle_from_fuzz(
+        finding, platform=config["platform"], length=config.get("length", 40),
+        source="replay", explicit_steps=explicit,
+    )
+
+
+def _replay_verif(bundle: dict) -> dict:
+    from repro.campaign.cells import _run_verif_cell
+
+    config = bundle["config"]
+    workload = bundle.get("workload", {})
+    params = {
+        "platform": config["platform"],
+        "subspace": config.get("subspace"),
+        "states": config.get("states"),
+        "start": workload.get("start"),
+        "stop": workload.get("stop"),
+    }
+    status, payload = _run_verif_cell(params)
+    report_doc = payload.get("report", {})
+    if status == "ok":
+        material = {"kind": "verif", "clean": True,
+                    "task": report_doc.get("task", "")}
+        return {
+            "schema": bundle["schema"], "kind": "verif", "source": "replay",
+            "config": dict(config), "seeds": {}, "workload": dict(workload),
+            "failure": None,
+            "signature": signature_from_material(material),
+        }
+    return bundle_from_verif(report_doc, platform=config["platform"],
+                             params=params, source="replay")
+
+
+_REPLAYERS = {
+    "chaos": _replay_chaos,
+    "fuzz": _replay_fuzz,
+    "verif": _replay_verif,
+}
+
+
+def replay_bundle(bundle: dict) -> ReplayResult:
+    """Re-execute ``bundle`` deterministically and compare signatures."""
+    validate_bundle(bundle)
+    replayer = _REPLAYERS.get(bundle["kind"])
+    if replayer is None:
+        raise ValueError(f"cannot replay bundle kind {bundle['kind']!r}")
+    fresh = replayer(bundle)
+    return ReplayResult(
+        original=bundle["signature"],
+        replayed=fresh["signature"],
+        bundle=fresh,
+    )

@@ -1,0 +1,240 @@
+"""Delta-debugging shrinker: minimize a repro bundle to a 1-minimal core.
+
+An 8-site fault plan that quarantines firmware usually quarantines it
+because of *one* spec; the other seven are noise that makes the repro
+hard to read.  ``shrink_bundle`` runs the classic ddmin algorithm
+[Zeller & Hildebrandt 2002] over the bundle's reducible input — fault
+plan specs for chaos bundles, workload steps for fuzz bundles — keeping
+any candidate subset whose replay reproduces the *original signature*
+byte-for-byte, and bisecting until the result is 1-minimal: removing
+any single remaining element breaks reproduction.
+
+Removing a spec cannot silently shift behaviour of the survivors: the
+injector's deterministic-draw rule (probability-1.0 specs consume no
+RNG draws; probabilistic specs draw in program order) means a candidate
+either reproduces the signature exactly or visibly diverges — there is
+no "almost the same failure" outcome to mislead the bisection.
+
+Candidates are *not* replayed inline: each ddmin round batches its
+candidate subsets through the campaign pool (:func:`run_campaign`), so
+candidates run in parallel and — crucially — under the pool's per-cell
+timeout.  A candidate plan that turns a clean quarantine into a hang is
+killed and counted as non-reproducing instead of wedging the shrinker.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+from typing import Callable, Optional
+
+from repro.triage.bundle import canonical_bundle_json, validate_bundle
+
+#: Safety bound on ddmin rounds; the algorithm terminates long before
+#: this on any realistic input (it is O(n^2) tests worst case).
+MAX_ROUNDS = 64
+
+
+@dataclasses.dataclass
+class ShrinkOutcome:
+    """Result of one shrink: the minimized bundle plus the audit trail."""
+
+    bundle: dict
+    original_count: int
+    shrunk_count: int
+    rounds: int = 0
+    candidates_tested: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.shrunk_count < self.original_count
+
+    def report(self) -> str:
+        return (
+            f"shrunk {self.original_count} -> {self.shrunk_count} "
+            f"element(s) in {self.rounds} round(s), "
+            f"{self.candidates_tested} candidate replay(s)"
+        )
+
+
+def _partition(items: list, n: int) -> list[list]:
+    """Split into ``n`` nearly-equal contiguous chunks (no empties)."""
+    quotient, remainder = divmod(len(items), n)
+    chunks = []
+    start = 0
+    for index in range(n):
+        size = quotient + (1 if index < remainder else 0)
+        if size:
+            chunks.append(items[start:start + size])
+            start += size
+    return chunks
+
+
+def ddmin(items: list, evaluate: Callable[[list[list]], list[bool]],
+          on_round: Optional[Callable[[int, int, int], None]] = None,
+          ) -> tuple[list, int, int]:
+    """Minimize ``items`` under a *batched* reproduction predicate.
+
+    ``evaluate(candidates)`` receives a list of candidate item-subsets
+    and returns one bool per candidate ("does this subset still
+    reproduce the failure?"); batching is what lets the caller fan the
+    round's candidates across the campaign pool.  Returns
+    ``(minimal_items, rounds, candidates_tested)``.  The result is
+    1-minimal with respect to the predicate: no single element can be
+    removed without losing reproduction.
+    """
+    items = list(items)
+    rounds = 0
+    tested = 0
+    if len(items) <= 1:
+        return items, rounds, tested
+    granularity = 2
+    while len(items) >= 2 and rounds < MAX_ROUNDS:
+        rounds += 1
+        subsets = _partition(items, granularity)
+        if on_round is not None:
+            on_round(rounds, len(items), granularity)
+        verdicts = evaluate(subsets)
+        tested += len(subsets)
+        reduced = False
+        for subset, verdict in zip(subsets, verdicts):
+            if verdict:  # reduce to the first reproducing subset
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity > 2:
+            # Complements only matter above granularity 2 (at 2 the
+            # complements *are* the subsets, already tested above).
+            complements = _positional_complements(items, subsets)
+            verdicts = evaluate(complements)
+            tested += len(complements)
+            for complement, verdict in zip(complements, verdicts):
+                if verdict:
+                    items = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+            if reduced:
+                continue
+        if granularity < len(items):
+            granularity = min(len(items), granularity * 2)
+        else:
+            break  # tested every single-element removal: 1-minimal
+    return items, rounds, tested
+
+
+def _positional_complements(items: list, subsets: list[list]) -> list[list]:
+    """Complement of each contiguous chunk, computed by position so
+    duplicate elements are handled correctly."""
+    complements = []
+    start = 0
+    for subset in subsets:
+        stop = start + len(subset)
+        complements.append(items[:start] + items[stop:])
+        start = stop
+    return complements
+
+
+# -- bundle-level shrinking ---------------------------------------------------
+
+def _reducible_items(bundle: dict) -> tuple[Optional[list], str]:
+    """The bundle's reducible sequence and where it lives."""
+    kind = bundle.get("kind")
+    if kind == "chaos":
+        specs = bundle.get("fault_plan", {}).get("specs")
+        return (list(specs) if specs else None), "fault_plan.specs"
+    if kind == "fuzz":
+        steps = bundle.get("workload", {}).get("steps")
+        return (list(steps) if steps else None), "workload.steps"
+    return None, ""
+
+
+def candidate_bundle(bundle: dict, items: list) -> dict:
+    """A copy of ``bundle`` with its reducible sequence replaced.
+
+    The original signature is kept verbatim — it is the reproduction
+    *target*; replaying the candidate re-derives a fresh signature and
+    compares against it.
+    """
+    candidate = copy.deepcopy(bundle)
+    if bundle["kind"] == "chaos":
+        candidate["fault_plan"]["specs"] = list(items)
+    else:
+        candidate["workload"]["steps"] = list(items)
+        candidate["workload"]["explicit_steps"] = True
+    return candidate
+
+
+def _pool_evaluator(bundle: dict, workers: int, timeout: float):
+    """Build the batched predicate: candidates -> campaign pool -> bools."""
+    from repro.campaign.cells import CampaignCell
+    from repro.campaign.runner import run_campaign
+
+    def evaluate(candidate_item_lists: list[list]) -> list[bool]:
+        cells = []
+        for index, items in enumerate(candidate_item_lists):
+            candidate = candidate_bundle(bundle, items)
+            encoded = canonical_bundle_json(candidate)
+            digest = hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+            cells.append(CampaignCell.make(
+                "triage-replay", f"triage:{index:03d}:{digest[:16]}",
+                bundle_json=encoded, index=index,
+            ))
+        outcome = run_campaign(cells, workers=workers, timeout=timeout)
+        verdicts = [False] * len(candidate_item_lists)
+        for result in outcome.results:
+            index = int(result.key.split(":")[1])
+            # Timeouts, errors, and crashed workers all count as
+            # non-reproducing — a candidate must *cleanly* replay the
+            # original signature to be accepted.
+            verdicts[index] = bool(result.status == "ok"
+                                   and result.payload.get("matches"))
+        return verdicts
+
+    return evaluate
+
+
+def shrink_bundle(bundle: dict, workers: int = 2, timeout: float = 60.0,
+                  progress: Optional[Callable[[str], None]] = None,
+                  ) -> ShrinkOutcome:
+    """Minimize ``bundle`` to a 1-minimal repro of the same signature.
+
+    ``workers``/``timeout`` configure the campaign pool each ddmin round
+    batches its candidates through (``workers=1`` replays candidates
+    serially in-process, without per-candidate timeouts).  The returned
+    bundle carries a ``"shrink"`` audit record; its signature is the
+    original's, and the final accepted candidate has already replayed to
+    that signature byte-for-byte.
+    """
+    validate_bundle(bundle)
+    items, location = _reducible_items(bundle)
+    if items is None or len(items) <= 1:
+        return ShrinkOutcome(
+            bundle=bundle,
+            original_count=0 if items is None else len(items),
+            shrunk_count=0 if items is None else len(items),
+        )
+    evaluate = _pool_evaluator(bundle, workers, timeout)
+
+    def on_round(round_index: int, size: int, granularity: int) -> None:
+        if progress is not None:
+            progress(f"round {round_index}: {size} element(s), "
+                     f"granularity {granularity}")
+
+    minimal, rounds, tested = ddmin(items, evaluate, on_round=on_round)
+    shrunk = candidate_bundle(bundle, minimal)
+    shrunk["shrink"] = {
+        "location": location,
+        "original_count": len(items),
+        "shrunk_count": len(minimal),
+        "rounds": rounds,
+        "candidates_tested": tested,
+    }
+    return ShrinkOutcome(
+        bundle=shrunk, original_count=len(items), shrunk_count=len(minimal),
+        rounds=rounds, candidates_tested=tested,
+    )

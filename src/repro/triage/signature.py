@@ -1,0 +1,149 @@
+"""Canonical failure signatures.
+
+A signature is the *identity* of a failure: two runs that fail the same
+way must produce byte-identical signatures no matter when, where, or at
+what worker count they ran, while genuinely different failures must not
+collide.  That dictates what goes into the hash — and, just as
+importantly, what stays out:
+
+* **In**: the failure kind, the firmware/workload under test, the
+  normalized cause string, the set of injection *sites* that actually
+  fired, the watchdog detectors that tripped, the divergence shape
+  (which observation fields differ, not their timing-dependent values).
+* **Out**: wall-clock anything, elapsed times, attempt counts, worker
+  ids, trap counts (retry totals drift across hosts only if behaviour
+  drifts — but they add nothing to identity), and the *plan name*
+  (the shrinker renames plans; a minimized repro of bug X is still
+  bug X).
+
+Cause strings are normalized before hashing: hex literals (addresses,
+CSR values) become the token ``<addr>``, so the same crash at two
+load addresses dedupes into one group instead of N.
+
+The digest is SHA-256 over the canonical JSON encoding (sorted keys,
+compact separators) of the material dict.  The material itself is kept
+alongside the digest in bundles so a human can read *why* two failures
+were considered the same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+
+#: Hash algorithm stamped into every signature (future-proofing: a
+#: replay refuses to compare digests produced by different algorithms).
+SIGNATURE_ALGO = "sha256"
+
+_HEX_LITERAL = re.compile(r"0[xX][0-9a-fA-F]+")
+_LONG_DECIMAL = re.compile(r"\b\d{6,}\b")
+
+
+def normalize_text(text) -> str:
+    """Collapse address-like tokens so cause strings hash stably.
+
+    Hex literals and long decimals (addresses, 64-bit CSR values,
+    simulated timestamps) are replaced by placeholder tokens; short
+    decimals (error codes, hart ids, small counts) are preserved —
+    they are part of the failure's identity.
+    """
+    if text is None:
+        return ""
+    text = _HEX_LITERAL.sub("<addr>", str(text))
+    return _LONG_DECIMAL.sub("<num>", text)
+
+
+def canonical_material_json(material: dict) -> str:
+    """The exact byte string that gets hashed (stable across runs)."""
+    return json.dumps(material, sort_keys=True, separators=(",", ":"))
+
+
+def signature_from_material(material: dict) -> dict:
+    """Build the signature document: algorithm, digest, and material."""
+    digest = hashlib.sha256(
+        canonical_material_json(material).encode("utf-8")
+    ).hexdigest()
+    return {"algo": SIGNATURE_ALGO, "digest": digest, "material": material}
+
+
+# -- per-kind material builders ----------------------------------------------
+
+def chaos_material(result) -> dict:
+    """Signature material for a :class:`~repro.faults.chaos.ChaosResult`.
+
+    Identity is (firmware, cause, which fault sites fired, which
+    watchdog detectors tripped, how the run ended) — never the plan
+    name, the seed, injection counts, or trap totals.
+    """
+    sites = sorted({site for site, _index, _detail in result.injection_log})
+    detectors = sorted(
+        key for key in result.recoveries if key.startswith("detect:")
+    )
+    quarantine_reasons = sorted({
+        normalize_text(dict(record).get("reason", ""))
+        for record in result.quarantine_log
+    })
+    return {
+        "kind": "chaos",
+        "firmware": result.firmware,
+        "cause": normalize_text(result.error or result.halt_reason),
+        "ok": result.ok,
+        "checkpoint": result.checkpoint,
+        "quarantined": result.quarantined,
+        "quarantine_reasons": quarantine_reasons,
+        "detectors": detectors,
+        "sites": sites,
+    }
+
+
+def fuzz_material(finding) -> dict:
+    """Signature material for a :class:`~repro.verif.fuzz.FuzzFinding`.
+
+    Identity is the divergence *shape*: which normalized-observation
+    fields differ plus the (normalized) crash causes — not the seed,
+    not the concrete differing values (memory contents embed addresses
+    and operands that vary per seed while the bug is one bug).
+    """
+    diff = finding.diff()
+    crashes = sorted({
+        normalize_text(observation.get("crashed"))
+        for observation in (finding.native, finding.virtualized)
+        if observation.get("crashed") is not None
+    })
+    return {
+        "kind": "fuzz",
+        "offload": finding.offload,
+        "diff_fields": sorted(diff),
+        "crashes": crashes,
+    }
+
+
+def verif_material(report_doc: dict) -> dict:
+    """Signature material for a failed verification report (cell payload
+    form, i.e. ``CheckReport.to_dict()``).
+
+    Identity is the task plus the set of (check, field) divergence
+    shapes — not input counts or the concrete diverging values.
+    """
+    shapes = sorted({
+        (entry.get("check", ""), entry.get("field", ""))
+        for entry in report_doc.get("divergences", ())
+    })
+    return {
+        "kind": "verif",
+        "task": report_doc.get("task", ""),
+        "shapes": [list(shape) for shape in shapes],
+    }
+
+
+def cell_fallback_material(family: str, status: str, error) -> dict:
+    """Material for a failed campaign cell that carries no bundle
+    (timeouts, worker deaths, runner exceptions): family + status +
+    normalized error still dedupe e.g. forty identical tracebacks."""
+    return {
+        "kind": "cell",
+        "family": family,
+        "status": status,
+        "cause": normalize_text(error),
+    }

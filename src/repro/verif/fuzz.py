@@ -56,14 +56,24 @@ ACTIONS = (
 
 @dataclasses.dataclass(frozen=True)
 class Scenario:
-    """A reproducible fuzz case."""
+    """A reproducible fuzz case.
+
+    ``(seed, length)`` is the *encoded* input: :meth:`actions` decodes it
+    into the concrete (action, operand) sequence.  An explicit ``steps``
+    tuple overrides the decode — that is how the triage shrinker replays
+    minimized subsequences that no seed encodes.
+    """
 
     seed: int
     length: int = 40
     platform: PlatformConfig = VISIONFIVE2
+    steps: Optional[tuple[tuple[str, int], ...]] = None
 
     def actions(self) -> list[tuple[str, int]]:
-        """The (action, operand) sequence this seed denotes."""
+        """The (action, operand) sequence this scenario denotes."""
+        if self.steps is not None:
+            return [(str(action), int(operand))
+                    for action, operand in self.steps]
         rng = random.Random(self.seed)
         names = [name for name, weight in ACTIONS for _ in range(weight)]
         return [
@@ -207,14 +217,27 @@ def _run_scenario(scenario: Scenario, virtualized: bool,
 
 @dataclasses.dataclass
 class FuzzFinding:
-    """One behavioural divergence between deployments."""
+    """One behavioural divergence between deployments.
+
+    ``steps`` embeds the decoded input — the concrete (action, operand)
+    sequence the seed generated — so a report is actionable without
+    re-running the generator: the old reports named only the failing
+    seed, forcing a full re-run just to see what the scenario *did*.
+    """
 
     scenario: Scenario
     offload: bool
     native: dict
     virtualized: dict
+    #: The generated input, decoded: ``((action, operand), ...)``.
+    steps: tuple = ()
 
-    def __str__(self) -> str:
+    def __post_init__(self):
+        if not self.steps:
+            self.steps = tuple(self.scenario.actions())
+
+    def diff(self) -> dict:
+        """The differing observation fields (the divergence shape)."""
         differing = {
             key: (self.native[key], self.virtualized[key])
             for key in self.native
@@ -223,9 +246,16 @@ class FuzzFinding:
         if not differing:  # identical hangs: both sides blew a budget
             differing = {"crashed": (self.native["crashed"],
                                      self.virtualized["crashed"])}
+        return differing
+
+    def __str__(self) -> str:
+        steps = " ".join(f"{action}({operand:#x})"
+                         for action, operand in self.steps[:6])
+        if len(self.steps) > 6:
+            steps += f" …+{len(self.steps) - 6}"
         return (
             f"seed={self.scenario.seed} offload={self.offload}: "
-            f"{differing}"
+            f"{self.diff()} [input: {steps}]"
         )
 
 
@@ -234,9 +264,18 @@ def fuzz_scenario(seed: int, length: int = 40,
                   offload: bool = True,
                   max_dispatches: int = MAX_DISPATCHES_PER_CASE,
                   wall_seconds: float = WALL_SECONDS_PER_CASE,
+                  steps=None,
                   ) -> Optional[FuzzFinding]:
-    """Run one differential case; returns a finding or None."""
-    scenario = Scenario(seed=seed, length=length, platform=platform)
+    """Run one differential case; returns a finding or None.
+
+    ``steps`` replays an explicit (action, operand) sequence instead of
+    the seed's decode (triage shrink/replay).
+    """
+    scenario = Scenario(
+        seed=seed, length=length, platform=platform,
+        steps=None if steps is None
+        else tuple((str(a), int(o)) for a, o in steps),
+    )
     native = _run_scenario(scenario, virtualized=False,
                            max_dispatches=max_dispatches,
                            wall_seconds=wall_seconds).normalized()

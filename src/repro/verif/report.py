@@ -72,6 +72,17 @@ class CheckReport:
     def first_failures(self, limit: int = 5) -> str:
         return "\n".join(str(d) for d in self.divergences[:limit])
 
+    def divergence_shapes(self) -> list[tuple[str, str]]:
+        """Sorted unique (check, field) pairs across all divergences.
+
+        This is the *identity* of a verification failure: which checks
+        broke on which fields, independent of how many inputs hit them
+        or what the concrete diverging values were.  Failure-triage
+        signatures (DESIGN.md §13) hash exactly this shape set, so two
+        shards of the same broken subspace deduplicate to one defect.
+        """
+        return sorted({(d.check, d.field) for d in self.divergences})
+
     def to_dict(self, include_timing: bool = True) -> dict:
         """JSON-stable view (campaign cell payloads, ``--json`` reports)."""
         doc = {

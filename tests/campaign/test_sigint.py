@@ -1,0 +1,117 @@
+"""Red-first tests for graceful ^C handling (triage satellite S2).
+
+Previously a SIGINT during ``repro campaign`` tore down the pool with a
+raw ``KeyboardInterrupt`` traceback and wrote nothing.  Now the runner
+drains in-flight cells, marks the rest ``skipped``, the aggregate still
+gets written, and the process exits 3.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    exit_code,
+    merge_campaign,
+    register_family,
+    run_campaign,
+)
+
+
+def _slow_family(params):
+    time.sleep(params.get("delay", 0.2))
+    return "ok", {"i": params["i"]}
+
+
+def _fire_sigint(after):
+    timer = threading.Timer(after,
+                            lambda: os.kill(os.getpid(), signal.SIGINT))
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+class TestInProcessDrain:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sigint_drains_and_skips(self, workers):
+        register_family("sigint-slow", _slow_family)
+        cells = [CampaignCell.make("sigint-slow", f"slow:{index:03d}",
+                                   i=index, delay=0.2)
+                 for index in range(10)]
+        timer = _fire_sigint(0.5)
+        try:
+            campaign = run_campaign(cells, workers=workers,
+                                    handle_sigint=True)
+        finally:
+            timer.cancel()
+        assert campaign.interrupted
+        statuses = [result.status for result in campaign.results]
+        assert statuses.count("ok") >= 1  # in-flight cells drained
+        skipped = [result for result in campaign.results
+                   if result.status == "skipped"]
+        assert skipped  # the tail never ran
+        assert all("SIGINT" in result.error for result in skipped)
+        # All cells are accounted for, none lost mid-drain.
+        assert len(campaign.results) == len(cells)
+
+        aggregate = merge_campaign(campaign)
+        assert aggregate["timing"]["interrupted"] is True
+        assert exit_code(aggregate) == 3
+
+    def test_handler_restored_after_run(self):
+        register_family("sigint-slow", _slow_family)
+        cells = [CampaignCell.make("sigint-slow", "slow:000", i=0,
+                                   delay=0.01)]
+        before = signal.getsignal(signal.SIGINT)
+        run_campaign(cells, workers=1, handle_sigint=True)
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_uninterrupted_run_exits_zero(self):
+        register_family("sigint-slow", _slow_family)
+        cells = [CampaignCell.make("sigint-slow", "slow:000", i=0,
+                                   delay=0.01)]
+        campaign = run_campaign(cells, workers=1, handle_sigint=True)
+        assert not campaign.interrupted
+        assert exit_code(merge_campaign(campaign)) == 0
+
+
+class TestCliSigint:
+    def test_cli_writes_partial_aggregate_and_exits_3(self, tmp_path):
+        out = tmp_path / "aggregate.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        # ~800 cells at ~20ms each: comfortably mid-flight when the
+        # interrupt lands 2 seconds in.
+        seeds = ",".join(str(seed) for seed in range(800))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign",
+             "--families", "chaos",
+             "--chaos-firmwares", "opensbi",
+             "--chaos-plans", "csr-chaos",
+             "--chaos-seeds", seeds,
+             "--workers", "2",
+             "--json", str(out)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            start_new_session=True,
+        )
+        time.sleep(2.0)
+        os.killpg(proc.pid, signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 3, (stdout, stderr)
+        assert out.exists(), "partial aggregate must still be written"
+
+        aggregate = json.loads(out.read_text())
+        assert aggregate["timing"]["interrupted"] is True
+        skipped = [cell for cell in aggregate["cells"]
+                   if cell["status"] == "skipped"]
+        assert skipped, "interrupt arrived before the matrix finished"
+        assert b"Traceback" not in stderr

@@ -1,0 +1,129 @@
+"""Red-first tests for fault-plan validation (triage satellite S1).
+
+On the pre-fix tree, ``FaultSpec(site="bogus")`` constructed happily and
+exploded only when the injector first consulted it mid-chaos-run — a
+raw ``KeyError``/no-match surprise halfway through a campaign.  Now:
+
+* unknown site/device/kind names fail at *construction* with a
+  ``ValueError`` naming the known sites;
+* ``FaultPlan`` rejects non-``FaultSpec`` entries at construction;
+* any residual plan-constructor error inside :func:`run_chaos` becomes
+  a structured ``error`` :class:`ChaosResult` — "never raises" covers
+  plan resolution too.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    MMIO_DEVICES,
+    SITES,
+)
+from repro.faults.plans import resolve_plan
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault site 'bogus'"):
+            FaultSpec(site="bogus")
+
+    def test_error_names_known_sites(self):
+        with pytest.raises(ValueError) as excinfo:
+            FaultSpec(site="vscr-write")  # a plausible typo
+        for site in SITES:
+            assert site in str(excinfo.value)
+
+    def test_unknown_mmio_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown mmio device"):
+            FaultSpec(site="mmio", device="nvme")
+        for device in MMIO_DEVICES:
+            FaultSpec(site="mmio", device=device)  # all legal
+
+    def test_unknown_mmio_kind_rejected(self):
+        with pytest.raises(ValueError, match="access kind"):
+            FaultSpec(site="mmio", kind="execute")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="mmio", probability=1.5)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"site": "mmio", "devise": "uart"})
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(site="vcsr-write", csr=0x305, limit=1,
+                         xor_mask=0x7F00_0000_0000)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_elides_defaults(self):
+        assert FaultSpec(site="stall").to_dict() == {"site": "stall"}
+
+
+class TestFaultPlanValidation:
+    def test_non_spec_entries_rejected(self):
+        with pytest.raises(ValueError, match="spec #0 is not a FaultSpec"):
+            FaultPlan("x", ({"site": "bogus"},))
+
+    def test_plan_dict_round_trip(self):
+        plan = FaultPlan("p", (FaultSpec(site="mmio", device="uart"),
+                               FaultSpec(site="stall", after=10)))
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan
+
+    def test_resolve_plan_accepts_dict_and_json(self):
+        import json
+
+        plan = FaultPlan("p", (FaultSpec(site="decode", limit=2),))
+        doc = plan.to_dict()
+        assert resolve_plan(doc) == plan
+        assert resolve_plan(json.dumps(doc)) == plan
+
+    def test_resolve_plan_bad_document_raises_value_error(self):
+        with pytest.raises(ValueError):
+            resolve_plan({"name": "p", "specs": [{"site": "bogus"}]})
+
+
+class TestChaosNeverRaisesOnBadPlans:
+    """The chaos harness converts residual plan-constructor errors into
+    structured ``error`` results instead of leaking mid-campaign."""
+
+    def test_unknown_plan_name_is_structured_error(self):
+        result = run_chaos("opensbi", plan="no-such-plan", seed=0)
+        assert not result.ok
+        assert result.error is not None
+        assert "no-such-plan" in result.error
+
+    def test_bad_plan_document_is_structured_error(self):
+        result = run_chaos(
+            "opensbi",
+            plan={"name": "evil", "specs": [{"site": "bogus"}]},
+            seed=0,
+        )
+        assert not result.ok
+        assert result.error is not None
+        assert "bogus" in result.error
+
+    def test_bad_plan_json_is_structured_error(self):
+        result = run_chaos(
+            "opensbi",
+            plan='{"name": "x", "specs": [{"site": "zzz"}]}',
+            seed=0,
+        )
+        assert not result.ok and result.error is not None
+
+    def test_unknown_firmware_still_raises(self):
+        # Caller bug, not plan data: stays a hard error (pinned by the
+        # chaos suite as well).
+        with pytest.raises(ValueError, match="unknown firmware"):
+            run_chaos("seabios", plan="none")
+
+    def test_direct_injector_construction_still_raises(self):
+        # Only the harness converts; library users keep the exception.
+        with pytest.raises(ValueError):
+            FaultInjector(FaultPlan("x", (FaultSpec(site="mmio",
+                                                    device="floppy"),)),
+                          seed=0)

@@ -1,0 +1,142 @@
+"""Repro-bundle capture: self-contained, canonical, round-trippable."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.triage.bundle import (
+    BUNDLE_SCHEMA,
+    bundle_filename,
+    bundle_from_chaos,
+    bundle_from_fuzz,
+    bundle_from_verif,
+    canonical_bundle_json,
+    load_bundle,
+    save_bundle,
+    validate_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def quarantine_result():
+    # padded-mtvec deterministically smashes mtvec on the first write:
+    # the watchdog detects the bad vector, retries, then quarantines.
+    result = run_chaos("opensbi", plan="padded-mtvec", seed=3)
+    assert result.quarantined
+    return result
+
+
+class TestChaosBundle:
+    def test_bundle_is_self_contained(self, quarantine_result):
+        bundle = bundle_from_chaos(quarantine_result,
+                                   platform="visionfive2")
+        assert bundle["schema"] == BUNDLE_SCHEMA
+        assert bundle["kind"] == "chaos"
+        # Everything replay needs, without registry access:
+        assert bundle["config"]["firmware"] == "opensbi"
+        assert bundle["config"]["platform"] == "visionfive2"
+        assert bundle["seeds"]["seed"] == 3
+        assert len(bundle["fault_plan"]["specs"]) == 8
+        assert bundle["failure"]["quarantined"] is True
+        assert bundle["failure"]["quarantine_log"]
+        assert bundle["trap_log_tail"]
+        assert bundle["signature"]["digest"]
+
+    def test_bundle_json_round_trip(self, quarantine_result, tmp_path):
+        bundle = bundle_from_chaos(quarantine_result,
+                                   platform="visionfive2")
+        path = str(tmp_path / "bundle.json")
+        save_bundle(bundle, path)
+        loaded = load_bundle(path)
+        assert loaded["signature"] == json.loads(
+            canonical_bundle_json(bundle))["signature"]
+        # Canonical serialization is stable through a round trip.
+        assert canonical_bundle_json(loaded) == canonical_bundle_json(
+            json.loads(canonical_bundle_json(bundle)))
+
+    def test_capture_is_deterministic(self, quarantine_result):
+        rerun = run_chaos("opensbi", plan="padded-mtvec", seed=3)
+        a = canonical_bundle_json(
+            bundle_from_chaos(quarantine_result, platform="visionfive2"))
+        b = canonical_bundle_json(
+            bundle_from_chaos(rerun, platform="visionfive2"))
+        assert a == b
+
+    def test_unresolved_plan_still_bundles(self):
+        result = run_chaos("opensbi", plan="no-such-plan", seed=0)
+        assert result.error is not None and not result.ok
+        bundle = bundle_from_chaos(result, platform="visionfive2")
+        assert bundle["fault_plan"]["specs"] is None
+        assert bundle["fault_plan"]["unresolved"] == "no-such-plan"
+        assert bundle["signature"]["material"]["cause"]
+
+    def test_tracer_tail_embedded(self):
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+        result = run_chaos("opensbi", plan="padded-mtvec", seed=3,
+                           tracer=tracer)
+        bundle = bundle_from_chaos(result, platform="visionfive2",
+                                   tracer=tracer)
+        assert bundle["trace_tail"]
+        assert all(len(event) == 6 for event in bundle["trace_tail"])
+
+
+class TestFuzzAndVerifBundles:
+    def test_fuzz_bundle_embeds_decoded_input(self):
+        from repro.verif.fuzz import FuzzFinding, Scenario
+
+        finding = FuzzFinding(
+            scenario=Scenario(seed=11, length=5),
+            offload=True,
+            native={"ssi": 1, "crashed": None},
+            virtualized={"ssi": 0, "crashed": None},
+        )
+        bundle = bundle_from_fuzz(finding, platform="visionfive2", length=5)
+        assert bundle["kind"] == "fuzz"
+        assert bundle["seeds"]["seed"] == 11
+        # The generated input, decoded: exactly what Scenario(11,5) does.
+        assert bundle["workload"]["steps"] == [
+            [action, operand]
+            for action, operand in Scenario(seed=11, length=5).actions()
+        ]
+        assert bundle["workload"]["explicit_steps"] is False
+        assert bundle["failure"]["diff"]["ssi"] == ["1", "0"]
+
+    def test_verif_bundle(self):
+        doc = {"task": "faithful-emulation", "inputs_checked": 12,
+               "divergences": [{"check": "csr", "field": "mstatus",
+                               "expected": 1, "actual": 2,
+                               "context": "i0"}]}
+        bundle = bundle_from_verif(
+            doc, platform="visionfive2",
+            params={"subspace": "emulation", "states": 4,
+                    "start": 0, "stop": 4},
+        )
+        assert bundle["kind"] == "verif"
+        assert bundle["config"]["subspace"] == "emulation"
+        assert bundle["workload"]["start"] == 0
+        assert bundle["failure"]["task"] == "faithful-emulation"
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bundle({"schema": "something-else", "kind": "chaos",
+                             "config": {}, "signature": {}})
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_bundle({"schema": BUNDLE_SCHEMA, "kind": "chaos"})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="object"):
+            validate_bundle([1, 2, 3])
+
+    def test_filename_is_signature_derived(self, quarantine_result):
+        bundle = bundle_from_chaos(quarantine_result,
+                                   platform="visionfive2")
+        name = bundle_filename(bundle)
+        assert name.startswith("repro-chaos-")
+        assert bundle["signature"]["digest"][:12] in name

@@ -1,0 +1,150 @@
+"""Signature-based failure deduplication in campaign aggregates."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    canonical_json,
+    merge_campaign,
+    register_family,
+    run_campaign,
+)
+from repro.campaign.runner import CellResult, CampaignResult
+from repro.triage.dedup import group_failures, summarize_groups
+from repro.triage.signature import signature_from_material
+
+
+def _cell_result(key, status="fail", family="chaos", error=None,
+                 payload=None):
+    return CellResult(key=key, family=family, status=status,
+                      error=error, payload=payload or {})
+
+
+def _bundle(digest_material):
+    return {"signature": signature_from_material(digest_material)}
+
+
+class TestGroupFailures:
+    def test_ok_cells_are_ignored(self):
+        groups = group_failures([_cell_result("a", status="ok")])
+        assert groups == []
+
+    def test_bundled_failures_group_by_signature(self):
+        same = {"kind": "chaos", "cause": "bad vector"}
+        other = {"kind": "chaos", "cause": "fault loop"}
+        groups = group_failures([
+            _cell_result("c1", payload={"bundle": _bundle(same)}),
+            _cell_result("c2", payload={"bundle": _bundle(same)}),
+            _cell_result("c3", payload={"bundle": _bundle(other)}),
+        ])
+        assert len(groups) == 2
+        by_count = sorted(groups, key=lambda g: -g["count"])
+        assert by_count[0]["count"] == 2
+        assert by_count[0]["cells"] == ["c1", "c2"]
+
+    def test_bundleless_failures_use_fallback_signature(self):
+        # Forty identical tracebacks at different addresses are one bug.
+        groups = group_failures([
+            _cell_result(f"c{i}", status="error",
+                         error=f"RuntimeError: bad read {i * 4096:#x}")
+            for i in range(5)
+        ])
+        assert len(groups) == 1
+        assert groups[0]["count"] == 5
+
+    def test_fuzz_cell_contributes_per_finding(self):
+        payload = {"findings": [
+            {"seed": 1, "bundle": _bundle({"kind": "fuzz", "d": ["ssi"]})},
+            {"seed": 2, "bundle": _bundle({"kind": "fuzz", "d": ["ssi"]})},
+            {"seed": 3, "bundle": _bundle({"kind": "fuzz", "d": ["mem"]})},
+        ]}
+        groups = group_failures([_cell_result("f1", payload=payload)])
+        assert sorted(group["count"] for group in groups) == [1, 2]
+
+    def test_groups_sorted_by_digest(self):
+        groups = group_failures([
+            _cell_result(f"c{i}", payload={"bundle": _bundle({"n": i})})
+            for i in range(6)
+        ])
+        digests = [group["signature"] for group in groups]
+        assert digests == sorted(digests)
+
+    def test_summary_line(self):
+        groups = group_failures([
+            _cell_result("c1", payload={"bundle": _bundle({"n": 1})}),
+            _cell_result("c2", payload={"bundle": _bundle({"n": 1})}),
+            _cell_result("c3", payload={"bundle": _bundle({"n": 2})}),
+        ])
+        assert summarize_groups(groups) == \
+            "2 distinct failures x 3 occurrences"
+        assert summarize_groups([]) == "no failures"
+
+
+def _failing_family(params):
+    index = params["i"]
+    if index % 3 == 0:
+        raise RuntimeError(f"boom at {index * 4096:#x}")
+    if index % 3 == 1:
+        return "fail", {"bundle": {
+            "signature": signature_from_material(
+                {"kind": "synthetic", "cause": "checkpoint missed"})}}
+    return "ok", {}
+
+
+class TestAggregateDeterminism:
+    """The deduped aggregate is part of the canonical document: it must
+    be byte-identical at any worker count."""
+
+    def test_canonical_identical_at_1_2_4_workers(self):
+        register_family("triage-dedup-test", _failing_family)
+        cells = [CampaignCell.make("triage-dedup-test",
+                                   f"tdt:{index:03d}", i=index)
+                 for index in range(12)]
+        documents = {
+            workers: canonical_json(merge_campaign(
+                run_campaign(cells, workers=workers)))
+            for workers in (1, 2, 4)
+        }
+        assert documents[1] == documents[2] == documents[4]
+
+    def test_aggregate_carries_failure_groups(self):
+        register_family("triage-dedup-test", _failing_family)
+        cells = [CampaignCell.make("triage-dedup-test",
+                                   f"tdt:{index:03d}", i=index)
+                 for index in range(12)]
+        aggregate = merge_campaign(run_campaign(cells, workers=2))
+        groups = aggregate["failure_groups"]
+        # 12 cells -> 4 errors (one group: addresses normalize away)
+        # + 4 fails (one bundled group) + 4 ok.
+        assert len(groups) == 2
+        assert sum(group["count"] for group in groups) == 8
+
+    def test_chaos_quarantine_bundles_flow_into_aggregate(self):
+        from repro.campaign import chaos_cells
+
+        cells = chaos_cells(firmwares=("opensbi",),
+                            plans=("padded-mtvec",), seeds=(3,))
+        campaign = run_campaign(cells, workers=1)
+        [result] = campaign.results
+        # Quarantine counts as ok under the chaos contract, but the cell
+        # still captures a bundle (the deterministic failure source).
+        assert result.status == "ok"
+        assert result.payload["quarantined"]
+        assert result.payload["bundle"]["kind"] == "chaos"
+        assert result.payload["bundle"]["signature"]["digest"]
+
+    def test_interrupted_lives_under_timing(self):
+        # Whether a run was ^C'd is per-run nondeterminism: it must not
+        # perturb the canonical aggregate bytes.
+        results = [_cell_result("a", status="ok")]
+        calm = merge_campaign(CampaignResult(results=list(results),
+                                             workers=1))
+        rushed = merge_campaign(CampaignResult(results=list(results),
+                                               workers=1,
+                                               interrupted=True))
+        assert calm["timing"]["interrupted"] is False
+        assert rushed["timing"]["interrupted"] is True
+        assert canonical_json(calm) == canonical_json(rushed)
+
+
+assert pytest is not None

@@ -1,0 +1,148 @@
+"""Replay determinism and the ddmin shrinker.
+
+The two load-bearing guarantees:
+
+* ``replay_bundle`` re-executes a bundle and *matches* only on a
+  byte-for-byte signature digest match;
+* ``shrink_bundle`` reduces the padded 8-site plan to its 1-minimal
+  core — the single mtvec-smash spec — while preserving the original
+  signature exactly, batching candidate replays through the campaign
+  pool.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.triage.bundle import bundle_from_chaos, canonical_bundle_json
+from repro.triage.replay import replay_bundle
+from repro.triage.shrink import ddmin, shrink_bundle
+
+
+@pytest.fixture(scope="module")
+def chaos_bundle():
+    result = run_chaos("opensbi", plan="padded-mtvec", seed=3)
+    assert result.quarantined
+    # Round-trip through JSON first: replay must work from a file's
+    # worth of data, not live Python objects.
+    return json.loads(canonical_bundle_json(
+        bundle_from_chaos(result, platform="visionfive2")))
+
+
+class TestReplay:
+    def test_replay_reproduces_signature(self, chaos_bundle):
+        replay = replay_bundle(chaos_bundle)
+        assert replay.matches
+        assert (replay.replayed["digest"]
+                == chaos_bundle["signature"]["digest"])
+
+    def test_tampered_bundle_mismatches(self, chaos_bundle):
+        # Flip the stored digest: the replayed signature is honest, so
+        # the comparison must fail (exit-nonzero path in the CLI).
+        tampered = copy.deepcopy(chaos_bundle)
+        tampered["signature"]["digest"] = "0" * 64
+        replay = replay_bundle(tampered)
+        assert not replay.matches
+
+    def test_different_plan_mismatches(self, chaos_bundle):
+        # Drop the one spec that matters: the run goes clean, the fresh
+        # signature differs, replay reports a mismatch.
+        edited = copy.deepcopy(chaos_bundle)
+        edited["fault_plan"]["specs"] = [
+            spec for spec in edited["fault_plan"]["specs"]
+            if spec.get("site") != "vcsr-write"
+        ]
+        replay = replay_bundle(edited)
+        assert not replay.matches
+
+    def test_unknown_kind_rejected(self, chaos_bundle):
+        bad = copy.deepcopy(chaos_bundle)
+        bad["kind"] = "mystery"
+        with pytest.raises(ValueError, match="mystery"):
+            replay_bundle(bad)
+
+    def test_fuzz_replay_roundtrip(self):
+        # A synthetic fuzz bundle with explicit steps must replay those
+        # steps; identical runs on both deployments -> no divergence ->
+        # sentinel signature -> mismatch against any stored failure.
+        from repro.triage.bundle import BUNDLE_SCHEMA
+        from repro.triage.signature import signature_from_material
+
+        bundle = {
+            "schema": BUNDLE_SCHEMA, "kind": "fuzz", "source": "test",
+            "config": {"platform": "visionfive2", "length": 3,
+                       "offload": True},
+            "seeds": {"seed": 1},
+            "workload": {"steps": [["compute", 10], ["read_time", 0]],
+                         "explicit_steps": True},
+            "failure": {},
+            "signature": signature_from_material({"kind": "fuzz",
+                                                  "diff_fields": ["ssi"]}),
+        }
+        replay = replay_bundle(bundle)
+        assert not replay.matches
+        assert replay.replayed["material"].get("clean") is True
+
+
+class TestDdmin:
+    """Algorithm-level properties, with a cheap synthetic predicate."""
+
+    @staticmethod
+    def _batched(predicate):
+        return lambda candidates: [predicate(c) for c in candidates]
+
+    def test_single_culprit(self):
+        items = list(range(16))
+        minimal, _rounds, _tested = ddmin(
+            items, self._batched(lambda subset: 7 in subset))
+        assert minimal == [7]
+
+    def test_pair_culprit_is_one_minimal(self):
+        # Failure needs BOTH 2 and 11: ddmin must keep exactly those.
+        minimal, _rounds, _tested = ddmin(
+            list(range(12)),
+            self._batched(lambda s: 2 in s and 11 in s))
+        assert minimal == [2, 11]
+
+    def test_everything_required(self):
+        items = [0, 1, 2]
+        minimal, _r, _t = ddmin(
+            items, self._batched(lambda s: len(s) == 3))
+        assert minimal == items
+
+    def test_empty_and_singleton_pass_through(self):
+        assert ddmin([], self._batched(lambda s: True))[0] == []
+        assert ddmin([5], self._batched(lambda s: True))[0] == [5]
+
+    def test_order_preserved(self):
+        minimal, _r, _t = ddmin(
+            ["a", "b", "c", "d"],
+            self._batched(lambda s: "b" in s and "d" in s))
+        assert minimal == ["b", "d"]
+
+
+class TestShrinkBundle:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_padded_plan_shrinks_to_minimal_core(self, chaos_bundle,
+                                                 workers):
+        outcome = shrink_bundle(chaos_bundle, workers=workers,
+                                timeout=60.0)
+        assert outcome.original_count == 8
+        assert outcome.shrunk_count == 1
+        spec = outcome.bundle["fault_plan"]["specs"][0]
+        assert spec["site"] == "vcsr-write"  # the mtvec-smash core
+        assert outcome.bundle["shrink"]["original_count"] == 8
+        # The shrunk bundle still replays to the original signature.
+        assert (outcome.bundle["signature"]["digest"]
+                == chaos_bundle["signature"]["digest"])
+        replay = replay_bundle(outcome.bundle)
+        assert replay.matches
+
+    def test_unshrinkable_bundle_passes_through(self, chaos_bundle):
+        single = copy.deepcopy(chaos_bundle)
+        single["fault_plan"]["specs"] = single["fault_plan"]["specs"][:1]
+        outcome = shrink_bundle(single, workers=1)
+        assert not outcome.changed
+        assert outcome.candidates_tested == 0

@@ -1,0 +1,158 @@
+"""Failure-signature semantics: stable identity, timing-free material."""
+
+import pytest
+
+from repro.triage.signature import (
+    SIGNATURE_ALGO,
+    canonical_material_json,
+    cell_fallback_material,
+    chaos_material,
+    fuzz_material,
+    normalize_text,
+    signature_from_material,
+    verif_material,
+)
+
+
+class TestNormalization:
+    def test_hex_literals_collapse(self):
+        assert normalize_text("fault at 0x80001234") == "fault at <addr>"
+        assert (normalize_text("0xDEAD vs 0xbeef")
+                == "<addr> vs <addr>")
+
+    def test_long_decimals_collapse_short_survive(self):
+        # Addresses/timestamps rendered in decimal collapse; small
+        # numbers (error codes, hart ids) are identity-bearing and stay.
+        assert normalize_text("hart 2 died at 139637976727552") == \
+            "hart 2 died at <num>"
+        assert normalize_text("exitcode -9, 3 retries") == \
+            "exitcode -9, 3 retries"
+
+    def test_none_is_empty(self):
+        assert normalize_text(None) == ""
+
+    def test_same_bug_different_address_same_text(self):
+        a = normalize_text("trap vector targets unmapped memory (0x7f000)")
+        b = normalize_text("trap vector targets unmapped memory (0x13370)")
+        assert a == b
+
+
+class TestSignature:
+    def test_digest_is_deterministic(self):
+        material = {"kind": "chaos", "cause": "x", "sites": ["mmio"]}
+        first = signature_from_material(material)
+        second = signature_from_material(dict(material))
+        assert first["digest"] == second["digest"]
+        assert first["algo"] == SIGNATURE_ALGO
+
+    def test_digest_is_key_order_independent(self):
+        a = signature_from_material({"a": 1, "b": 2})
+        b = signature_from_material({"b": 2, "a": 1})
+        assert a["digest"] == b["digest"]
+
+    def test_different_material_different_digest(self):
+        a = signature_from_material({"kind": "chaos", "cause": "x"})
+        b = signature_from_material({"kind": "chaos", "cause": "y"})
+        assert a["digest"] != b["digest"]
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_material_json({"b": 1, "a": [1, 2]})
+        assert text == '{"a":[1,2],"b":1}'
+
+
+class TestChaosMaterial:
+    def _result(self, **overrides):
+        from repro.faults.chaos import ChaosResult
+
+        result = ChaosResult(firmware="opensbi", plan="p", seed=7)
+        for name, value in overrides.items():
+            setattr(result, name, value)
+        return result
+
+    def test_material_is_timing_and_seed_free(self):
+        material = chaos_material(self._result(
+            halt_reason="miralis: firmware quarantined (bad vector 0x7000)",
+            quarantined=True,
+            injections=5,
+            injection_log=(("vcsr-write", 0, "x"), ("mmio", 3, "y")),
+            recoveries={"detect:bad-vector": 4, "retries": 3,
+                        "recoveries": 4},
+        ))
+        assert material["kind"] == "chaos"
+        assert material["sites"] == ["mmio", "vcsr-write"]
+        assert material["detectors"] == ["detect:bad-vector"]
+        assert "<addr>" in material["cause"]
+        # Nothing seed- or count-shaped leaks into identity.
+        assert 7 not in material.values()
+        assert 5 not in material.values()
+        assert "p" not in material.values()
+
+    def test_same_failure_different_seed_same_digest(self):
+        a = chaos_material(self._result(
+            seed=1, halt_reason="quarantined (0x1000)", quarantined=True))
+        b = chaos_material(self._result(
+            seed=2, halt_reason="quarantined (0x2000)", quarantined=True))
+        assert (signature_from_material(a)["digest"]
+                == signature_from_material(b)["digest"])
+
+    def test_plan_name_not_in_material(self):
+        # The shrinker renames plans; a minimized repro of bug X must
+        # still hash as bug X.
+        a = chaos_material(self._result(plan="padded-mtvec",
+                                        quarantined=True))
+        b = chaos_material(self._result(plan="padded-mtvec-shrunk",
+                                        quarantined=True))
+        assert a == b
+
+
+class TestFuzzAndVerifMaterial:
+    def test_fuzz_material_uses_diff_shape_not_values(self):
+        from repro.verif.fuzz import FuzzFinding, Scenario
+
+        def finding(memory):
+            return FuzzFinding(
+                scenario=Scenario(seed=1, length=4),
+                offload=True,
+                native={"memory": memory, "crashed": None, "ssi": 1},
+                virtualized={"memory": [0], "crashed": None, "ssi": 1},
+            )
+
+        a = fuzz_material(finding([1, 2, 3]))
+        b = fuzz_material(finding([9, 9, 9]))
+        assert a == b
+        assert a["diff_fields"] == ["memory"]
+
+    def test_verif_material_is_shape_sorted(self):
+        doc = {"task": "faithful-emulation", "inputs_checked": 99,
+               "divergences": [
+                   {"check": "csr", "field": "mstatus", "expected": 1},
+                   {"check": "csr", "field": "mstatus", "expected": 2},
+                   {"check": "pmp", "field": "pmpcfg0"},
+               ]}
+        material = verif_material(doc)
+        assert material["shapes"] == [["csr", "mstatus"], ["pmp", "pmpcfg0"]]
+        assert "inputs_checked" not in material
+
+    def test_verif_material_matches_report_divergence_shapes(self):
+        from repro.verif.report import CheckReport, Divergence
+
+        report = CheckReport(task="t")
+        report.record(Divergence("csr", "mstatus", 1, 2))
+        report.record(Divergence("csr", "mstatus", 3, 4))
+        report.record(Divergence("pmp", "pmpcfg0", 0, 1))
+        material = verif_material(report.to_dict(include_timing=False))
+        assert material["shapes"] == [
+            list(shape) for shape in report.divergence_shapes()]
+
+    def test_cell_fallback_normalizes_error(self):
+        a = cell_fallback_material("chaos", "error",
+                                   "RuntimeError: bad read 0xAAAA")
+        b = cell_fallback_material("chaos", "error",
+                                   "RuntimeError: bad read 0xBBBB")
+        assert a == b
+        c = cell_fallback_material("chaos", "timeout", None)
+        assert a != c
+
+
+# Red-first tripwire: on the pre-triage tree this module fails at import.
+assert pytest is not None
