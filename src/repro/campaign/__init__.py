@@ -5,9 +5,9 @@ Table 2 verification sweeps, differential fuzzing, the chaos matrix —
 and this package makes that campaign a first-class, parallel subsystem:
 
 * :mod:`repro.campaign.cells` — the shardable unit of work and the
-  family registry (``verif`` / ``fuzz`` / ``chaos`` plus the ``stall``
-  calibration family), with deterministic shard assignment as a pure
-  function of the cell key;
+  family registry (``verif`` / ``fuzz`` / ``covfuzz`` / ``chaos`` plus
+  the ``stall`` calibration family), with deterministic shard assignment
+  as a pure function of the cell key;
 * :mod:`repro.campaign.runner` — the multiprocessing worker pool with
   per-cell timeout, one-retry handling, crash containment, and a
   campaign-level budget;
@@ -24,6 +24,7 @@ from repro.campaign.cells import (
     FAMILY_RUNNERS,
     VERIF_TASK_ORDER,
     chaos_cells,
+    covfuzz_cells,
     execute_cell,
     fuzz_cells,
     register_family,
@@ -57,6 +58,7 @@ __all__ = [
     "canonical_aggregate",
     "canonical_json",
     "chaos_cells",
+    "covfuzz_cells",
     "execute_cell",
     "exit_code",
     "fuzz_cells",

@@ -27,7 +27,7 @@ from typing import Callable, Iterable, Optional
 
 #: Families the CLI exposes (the ``stall`` calibration family is
 #: internal: used by the scaling benchmark and the timeout tests).
-CLI_FAMILIES = ("verif", "fuzz", "chaos")
+CLI_FAMILIES = ("verif", "fuzz", "covfuzz", "chaos")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -277,6 +277,95 @@ def _run_fuzz_cell(params: dict) -> tuple[str, dict]:
     return status, payload
 
 
+# -- covfuzz family (coverage-guided differential fuzzing) -------------------
+
+def covfuzz_cells(cells: int = 4, cases: int = 8, length: int = 8,
+                  platform: str = "visionfive2", offload: bool = True,
+                  seed: int = 0, corpus_dir: Optional[str] = None,
+                  wall_seconds: Optional[float] = None,
+                  ) -> list[CampaignCell]:
+    """Shard a guided-fuzz run into independent cells.
+
+    Each cell runs its own guided loop from a distinct seed over a
+    *private in-memory copy* of the starting corpus — cells never write
+    shared files, so results are independent of worker interleaving.
+    Kept inputs and coverage come back in the payload; the merge step
+    unions them order-independently.
+    """
+    out = []
+    for index in range(cells):
+        params = dict(seed=seed + index, cases=cases, length=length,
+                      platform=platform, offload=offload)
+        if corpus_dir is not None:
+            params["corpus_dir"] = corpus_dir
+        if wall_seconds is not None:
+            params["wall_seconds"] = wall_seconds
+        out.append(CampaignCell.make(
+            "covfuzz",
+            f"covfuzz:{platform}:l{length}:o{int(offload)}:"
+            f"c{cases:03d}:s{seed + index:05d}",
+            **params,
+        ))
+    return out
+
+
+def _run_covfuzz_cell(params: dict) -> tuple[str, dict]:
+    from repro.coverage import Corpus, run_guided_fuzz
+    from repro.spec.platform import PLATFORMS
+    from repro.triage.bundle import bundle_from_fuzz
+    from repro.verif.fuzz import WALL_SECONDS_PER_CASE
+
+    corpus = Corpus()  # in-memory: cells must not race on shared files
+    corpus_dir = params.get("corpus_dir")
+    if corpus_dir is not None:
+        for entry in Corpus(corpus_dir).entries.values():
+            corpus.add_entry(entry)
+    result = run_guided_fuzz(
+        corpus,
+        seed=params["seed"],
+        cases=params["cases"],
+        length=params["length"],
+        platform=PLATFORMS[params["platform"]],
+        offload=params["offload"],
+        wall_seconds=params.get("wall_seconds", WALL_SECONDS_PER_CASE),
+    )
+    coverage_summary = {
+        "digest": result.coverage.digest(),
+        "bitmap_bits": result.coverage.bit_count(),
+        "paths": result.coverage.path_count(),
+    }
+    findings = []
+    for finding in result.findings:
+        differing = {
+            key: [repr(finding.native[key]), repr(finding.virtualized[key])]
+            for key in sorted(finding.native)
+            if finding.native[key] != finding.virtualized[key]
+        }
+        findings.append({
+            "offload": finding.offload,
+            "diff": differing,
+            "steps": [[action, operand]
+                      for action, operand in finding.steps],
+            # Guided inputs are mutants no seed encodes: the bundle must
+            # carry explicit steps so replay drives them directly.
+            "bundle": bundle_from_fuzz(
+                finding, platform=params["platform"],
+                length=params["length"], source="campaign:covfuzz",
+                explicit_steps=True, coverage=coverage_summary,
+            ),
+        })
+    findings.sort(key=lambda f: f["bundle"]["signature"]["digest"])
+    payload = {
+        "replayed": result.replayed,
+        "executed": result.executed,
+        "kept": [{"digest": digest, "entry": corpus.entries[digest]}
+                 for digest in sorted(result.kept)],
+        "coverage": result.coverage.to_doc(),
+        "findings": findings,
+    }
+    return ("fail" if findings else "ok"), payload
+
+
 # -- chaos family ------------------------------------------------------------
 
 def chaos_cells(firmwares: Iterable[str] = ("opensbi",),
@@ -406,6 +495,7 @@ def _run_triage_cell(params: dict) -> tuple[str, dict]:
 
 register_family("verif", _run_verif_cell)
 register_family("fuzz", _run_fuzz_cell)
+register_family("covfuzz", _run_covfuzz_cell)
 register_family("chaos", _run_chaos_cell)
 register_family("stall", _run_stall_cell)
 register_family("triage-replay", _run_triage_cell)

@@ -132,6 +132,40 @@ def merge_campaign(campaign: CampaignResult) -> dict:
             "findings": findings,
         }
 
+    covfuzz_results = campaign.by_family("covfuzz")
+    if covfuzz_results:
+        from repro.coverage import CoverageMap
+
+        union = CoverageMap()
+        kept: dict[str, dict] = {}
+        covfuzz_findings = []
+        replayed = executed = 0
+        for result in covfuzz_results:  # sorted by key: deterministic
+            payload = result.payload
+            if "coverage" in payload:
+                union.union(CoverageMap.from_doc(payload["coverage"]))
+            for item in payload.get("kept", ()):
+                kept[item["digest"]] = item["entry"]
+            covfuzz_findings.extend(payload.get("findings", ()))
+            replayed += payload.get("replayed", 0)
+            executed += payload.get("executed", 0)
+        covfuzz_findings.sort(
+            key=lambda f: f["bundle"]["signature"]["digest"]
+        )
+        # The bitmap/path union is commutative and associative, so the
+        # aggregate coverage document — digest included — is identical
+        # at any worker count and any cell completion order.
+        aggregate["covfuzz"] = {
+            "replayed": replayed,
+            "executed": executed,
+            "kept": [{"digest": digest, "entry": kept[digest]}
+                     for digest in sorted(kept)],
+            "coverage": union.to_doc(),
+            "coverage_digest": union.digest(),
+            "report": union.report(),
+            "findings": covfuzz_findings,
+        }
+
     chaos_results = campaign.by_family("chaos")
     if chaos_results:
         aggregate["chaos"] = {

@@ -306,6 +306,8 @@ def command_verify(args: argparse.Namespace) -> int:
 def command_fuzz(args: argparse.Namespace) -> int:
     from repro.verif.fuzz import run_fuzz_campaign
 
+    if args.cov:
+        return _command_fuzz_guided(args)
     result = run_fuzz_campaign(
         range(args.start, args.start + args.count),
         length=args.length,
@@ -341,6 +343,92 @@ def command_fuzz(args: argparse.Namespace) -> int:
     return 3 if result.seeds_skipped else 0
 
 
+def _command_fuzz_guided(args: argparse.Namespace) -> int:
+    """``repro fuzz --cov``: the coverage-guided loop over a corpus."""
+    from repro.coverage import Corpus, run_guided_fuzz
+
+    corpus = Corpus(args.corpus)  # in-memory when --corpus is omitted
+    before = len(corpus)
+    result = run_guided_fuzz(
+        corpus, seed=args.start, cases=args.count, length=args.length,
+        platform=PLATFORMS[args.platform], offload=not args.no_offload,
+    )
+    report = result.coverage.report()
+    print(f"guided fuzz: {result.replayed} corpus input(s) replayed, "
+          f"{result.executed} mutation(s) run, {len(result.kept)} kept "
+          f"({before} -> {len(corpus)} corpus entries)")
+    print(f"coverage: {report['bitmap_bits']} bitmap bits, "
+          f"{report['paths']} exact paths, "
+          f"{report['pairs_covered']}/{report['pairs_total']} trap paths "
+          f"(digest {result.coverage.digest()[:12]})")
+    print(f"{len(result.findings)} divergence(s)")
+    for finding in result.findings:
+        print(" ", finding)
+    if args.bundle_dir and result.findings:
+        import os
+
+        from repro.triage import bundle_from_fuzz, save_bundle
+        from repro.triage.bundle import bundle_filename
+
+        os.makedirs(args.bundle_dir, exist_ok=True)
+        coverage_summary = {
+            "digest": result.coverage.digest(),
+            "bitmap_bits": report["bitmap_bits"],
+            "paths": report["paths"],
+        }
+        for finding in result.findings:
+            # Guided inputs are mutants no seed encodes: mark the steps
+            # explicit so replay drives them directly.
+            bundle = bundle_from_fuzz(
+                finding, platform=args.platform, length=args.length,
+                source="fuzz:guided", explicit_steps=True,
+                coverage=coverage_summary,
+            )
+            path = os.path.join(args.bundle_dir, bundle_filename(bundle))
+            save_bundle(bundle, path)
+            print(f"  bundle written: {path}")
+    return 1 if result.findings else 0
+
+
+def command_cov_report(args: argparse.Namespace) -> int:
+    """``repro cov report``: replay a corpus, print trap-path coverage."""
+    from repro.coverage import Corpus, CoverageMap
+    from repro.verif.fuzz import fuzz_scenario
+
+    corpus = Corpus(args.corpus)
+    coverage = CoverageMap()
+    divergences = 0
+    for _digest, steps in corpus.iter_steps():
+        case = CoverageMap()
+        finding = fuzz_scenario(
+            0, platform=PLATFORMS[args.platform],
+            offload=not args.no_offload, steps=steps, coverage=case,
+        )
+        coverage.absorb(case)
+        if finding is not None:
+            divergences += 1
+    report = coverage.report()
+    print(f"corpus: {len(corpus)} input(s) ({args.corpus})")
+    print(f"coverage: {report['records']} trap(s) recorded, "
+          f"{report['bitmap_bits']} bitmap bits, "
+          f"{report['paths']} exact paths")
+    print(f"trap paths covered: "
+          f"{report['pairs_covered']}/{report['pairs_total']}")
+    for world in sorted(report["worlds"]):
+        stats = report["worlds"][world]
+        keys = ",".join(f"{key:#x}" for key in stats["cause_keys"])
+        print(f"  {world:8s} {stats['covered']:2d}/{stats['total']:2d}"
+              + (f"  [{keys}]" if keys else ""))
+    print(f"digest: {coverage.digest()}")
+    if divergences:
+        print(f"warning: {divergences} corpus input(s) diverge on replay")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(coverage.canonical_json())
+        print(f"coverage document written: {args.json}")
+    return 0
+
+
 def _parse_list(text: str) -> list[str]:
     return [item for item in (part.strip() for part in text.split(","))
             if item]
@@ -352,6 +440,7 @@ def command_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import (
         CLI_FAMILIES,
         chaos_cells,
+        covfuzz_cells,
         exit_code,
         fuzz_cells,
         merge_campaign,
@@ -374,6 +463,13 @@ def command_campaign(args: argparse.Namespace) -> int:
             start=args.fuzz_start, count=args.fuzz_count,
             length=args.fuzz_length, platform=args.platform,
             offload=not args.no_offload, chunk=args.fuzz_chunk,
+        )
+    if "covfuzz" in families:
+        cells += covfuzz_cells(
+            cells=args.covfuzz_cells, cases=args.covfuzz_cases,
+            length=args.covfuzz_length, platform=args.platform,
+            offload=not args.no_offload, seed=args.covfuzz_seed,
+            corpus_dir=args.corpus,
         )
     if "chaos" in families:
         seeds = [int(s) for s in _parse_list(args.chaos_seeds)]
@@ -407,6 +503,13 @@ def command_campaign(args: argparse.Namespace) -> int:
             extra = (f", {len(fuzz['findings'])} finding(s)"
                      + (f", {len(fuzz['seeds_skipped'])} seed(s) skipped"
                         if fuzz["seeds_skipped"] else ""))
+        elif family == "covfuzz":
+            covfuzz = aggregate["covfuzz"]
+            report = covfuzz["report"]
+            extra = (f", {len(covfuzz['findings'])} finding(s), "
+                     f"{len(covfuzz['kept'])} kept, "
+                     f"{report['pairs_covered']}/{report['pairs_total']} "
+                     f"trap paths")
         print(f"  {family}: {stats['cells']} cells, {stats['ok']} ok, "
               f"{stats['cells'] - stats['ok']} not ok{extra}")
     for report in merged_check_reports(campaign.results):
@@ -416,6 +519,20 @@ def command_campaign(args: argparse.Namespace) -> int:
     for finding in aggregate.get("fuzz", {}).get("findings", ()):
         print(f"  fuzz divergence seed={finding['seed']} "
               f"offload={finding['offload']}: {finding['diff']}")
+    for finding in aggregate.get("covfuzz", {}).get("findings", ()):
+        print(f"  covfuzz divergence "
+              f"offload={finding['offload']}: {finding['diff']}")
+    if "covfuzz" in aggregate and args.corpus:
+        # Fold the campaign's kept inputs back into the persistent
+        # corpus — a single-process, post-merge write, so the on-disk
+        # corpus stays deterministic at any worker count.
+        from repro.coverage import Corpus
+
+        corpus = Corpus(args.corpus)
+        before = len(corpus)
+        for item in aggregate["covfuzz"]["kept"]:
+            corpus.add_entry(item["entry"])
+        print(f"corpus: {before} -> {len(corpus)} entries ({args.corpus})")
     for failure in aggregate["failures"]:
         print(f"  {failure['key']}: {failure['status'].upper()}"
               + (f" ({failure['error']})" if failure["error"] else ""))
@@ -655,16 +772,40 @@ def build_parser() -> argparse.ArgumentParser:
                            "skipped (exit 3) instead of running unbounded")
     fuzz.add_argument("--bundle-dir", default=None, metavar="DIR",
                       help="write a repro bundle per divergence into DIR")
+    fuzz.add_argument("--cov", action="store_true",
+                      help="coverage-guided mode: mutate corpus inputs and "
+                           "keep those reaching new trap paths (--start "
+                           "seeds the mutation stream, --count is the "
+                           "mutation budget)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="with --cov: persistent corpus directory "
+                           "(loaded before the run, kept inputs written "
+                           "through; omit for an in-memory corpus)")
     fuzz.set_defaults(func=command_fuzz)
+
+    cov = sub.add_parser("cov", help="trap-path coverage tooling")
+    cov_sub = cov.add_subparsers(dest="cov_command", required=True)
+    cov_report = cov_sub.add_parser(
+        "report",
+        help="replay a corpus and report covered/total trap paths",
+    )
+    _add_platform_argument(cov_report)
+    cov_report.add_argument("--corpus", required=True, metavar="DIR",
+                            help="corpus directory to replay")
+    cov_report.add_argument("--no-offload", action="store_true")
+    cov_report.add_argument("--json", default=None, metavar="FILE",
+                            help="write the full coverage document here")
+    cov_report.set_defaults(func=command_cov_report)
 
     campaign = sub.add_parser(
         "campaign",
-        help="sharded parallel campaign over verif/fuzz/chaos cells",
+        help="sharded parallel campaign over verif/fuzz/covfuzz/chaos cells",
     )
     _add_platform_argument(campaign)
     campaign.add_argument("--families", default="verif,fuzz,chaos",
                           help="comma list of cell families to run "
-                               "(default: verif,fuzz,chaos)")
+                               "(default: verif,fuzz,chaos; covfuzz is "
+                               "available opt-in)")
     campaign.add_argument("--workers", type=int, default=1,
                           help="worker processes (default 1: serial; the "
                                "aggregate is identical at any count)")
@@ -690,6 +831,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fuzz seeds per cell (default 2)")
     campaign.add_argument("--no-offload", action="store_true",
                           help="fuzz: disable fast-path offloading")
+    campaign.add_argument("--covfuzz-cells", type=int, default=4,
+                          help="covfuzz: guided cells (default 4)")
+    campaign.add_argument("--covfuzz-cases", type=int, default=8,
+                          help="covfuzz: mutations per cell (default 8)")
+    campaign.add_argument("--covfuzz-length", type=int, default=8,
+                          help="covfuzz: fresh-scenario length (default 8)")
+    campaign.add_argument("--covfuzz-seed", type=int, default=0,
+                          help="covfuzz: base mutation seed (default 0)")
+    campaign.add_argument("--corpus", default=None, metavar="DIR",
+                          help="covfuzz: seed cells from this corpus and "
+                               "fold kept inputs back in after the merge")
     campaign.add_argument("--chaos-firmwares",
                           default="opensbi,rustsbi,zephyr,malicious")
     campaign.add_argument("--chaos-plans", default="random",

@@ -22,6 +22,8 @@ KNOWN_BUGS = {
     "interrupt_loss": "virtual interrupt check skipped after emulation",
     "mret_mpp_not_cleared": "mret does not reset MPP to U",
     "mpp_invalid_accepted": "MPP legalization accepts the reserved value 2",
+    "os_ipi_write_dropped": "direct OS msip stores silently dropped by the "
+                            "monitor's CLINT emulation",
 }
 
 _active: set[str] = set()

@@ -57,6 +57,10 @@ class Miralis:
         num_harts = machine.config.num_harts
         self.vctx = [VirtContext(machine.config, hartid=i) for i in range(num_harts)]
         self.world = [World.FIRMWARE] * num_harts
+        # Expose the world list to the machine's coverage hook: trap
+        # coverage is keyed per world, and the list is shared (mutated in
+        # place on world switches), so this assignment stays current.
+        machine.world_view = self.world
         self.vclint = VirtualClint(machine)
         self.vpmp = PmpVirtualizer(
             machine, region, config, policy.num_pmp_entries()
@@ -214,8 +218,18 @@ class Miralis:
     # ------------------------------------------------------------------
 
     def _inject_firmware_trap(self, hart, vctx, cause, is_interrupt, tval,
-                              trapped_pc) -> None:
-        """Inject a virtual trap, with watchdog depth/vector validation."""
+                              trapped_pc, pin: bool = True) -> None:
+        """Inject a virtual trap, with watchdog depth/vector validation.
+
+        The virtual firmware will classify and annotate this trap, but
+        emulating its handler raises further traps on the same hart
+        first — pin the delivered event as its annotation target.
+        ``pin=False`` keeps the existing pin: a watchdog *retry* re-serves
+        the originally pinned trap, and re-pinning would hijack whatever
+        event the recovery machinery just annotated.
+        """
+        if pin:
+            self.machine.stats.pin_injected(hart.hartid)
         pc = inject_virtual_trap(vctx, cause, is_interrupt, tval, trapped_pc)
         if self.watchdog is not None:
             self.watchdog.note_injection(hart, vctx)
@@ -232,14 +246,14 @@ class Miralis:
             # Injected runaway loop: resume the trapped instruction without
             # emulating it, so it traps again.  Only the watchdog's trap
             # budget can break the cycle.
-            self.machine.stats.annotate_last("fault-inject", detail="stall")
+            self.machine.stats.annotate_last("fault-inject", detail="stall", hart=hart.hartid)
             hart.state.pc = mepc
             return
         if code == c.TrapCause.ILLEGAL_INSTRUCTION:
             self._emulate_firmware_instruction(hart, vctx, mepc, mtval)
             return
         if code == c.TrapCause.ECALL_FROM_U:
-            self.machine.stats.annotate_last("miralis-emulate", detail="vm-ecall")
+            self.machine.stats.annotate_last("miralis-emulate", detail="vm-ecall", hart=hart.hartid)
             action = self.policy.on_firmware_ecall(hart, vctx)
             if action == PolicyAction.DENY:
                 self._violation(hart, "firmware ecall denied by policy")
@@ -259,7 +273,7 @@ class Miralis:
         # breakpoints, ...) is re-injected into vM-mode.
         trap = Trap(code, tval=mtval)
         action = self.policy.on_firmware_trap(hart, vctx, trap)
-        self.machine.stats.annotate_last("miralis-emulate", detail=f"vm-reinject:{code}")
+        self.machine.stats.annotate_last("miralis-emulate", detail=f"vm-reinject:{code}", hart=hart.hartid)
         if action == PolicyAction.DENY:
             self._violation(hart, f"firmware trap {code} denied by policy")
             return
@@ -281,6 +295,7 @@ class Miralis:
         self.machine.stats.annotate_last(
             "miralis-emulate",
             detail=f"emulate:{instr.mnemonic}" if instr else "emulate:invalid",
+            hart=hart.hartid,
         )
         self.machine.stats.note_firmware_emulation()
         tracer = self.machine.tracer
@@ -351,7 +366,7 @@ class Miralis:
                 instr = None
             if instr is not None and (instr.is_load or instr.is_store):
                 self.machine.stats.annotate_last(
-                    "miralis-emulate", detail="vclint"
+                    "miralis-emulate", detail="vclint", hart=hart.hartid
                 )
                 injector = self.machine.fault_injector
                 if injector is not None and injector.mmio_error(
@@ -393,7 +408,7 @@ class Miralis:
             return
         if action == PolicyAction.HANDLED:
             return
-        self.machine.stats.annotate_last("miralis-emulate", detail="vm-fault")
+        self.machine.stats.annotate_last("miralis-emulate", detail="vm-fault", hart=hart.hartid)
         self._inject_firmware_trap(hart, vctx, code, False, mtval, mepc)
         self._charge_host(hart, costs.inject)
 
@@ -458,6 +473,13 @@ class Miralis:
                 self._violation(hart, f"OS trap {code} denied by policy")
                 return
 
+        if (
+            code in (c.TrapCause.LOAD_ACCESS_FAULT, c.TrapCause.STORE_ACCESS_FAULT)
+            and self.vclint.contains(mtval)
+            and self._emulate_os_clint_access(hart, vctx, mepc, mtval)
+        ):
+            self._return_to_os(hart)
+            return
         if self.config.offload_enabled and self.offload.try_handle_exception(
             hart, vctx, code
         ):
@@ -465,6 +487,37 @@ class Miralis:
             return
         # Slow path: world switch into the virtualized firmware.
         self._enter_firmware_with_trap(hart, vctx, code, False, mtval, mepc)
+
+    def _emulate_os_clint_access(self, hart, vctx, mepc, mtval) -> bool:
+        """Emulate an OS-world CLINT access the monitor's PMP blocked.
+
+        Natively the firmware's PMP grants S-mode the CLINT, so direct OS
+        accesses (a kernel reading ``mtime``, poking ``msip``, programming
+        ``mtimecmp``) just work; re-injecting the fault into the virtual
+        firmware instead panicked it with an exception it never sees
+        natively.  Emulation is independent of offloading — the slow path
+        OS faults here too.
+        """
+        try:
+            instr = decode(self.machine.ram.read(mepc, 4))
+        except IllegalInstructionError:
+            return False
+        try:
+            kind = self.vclint.emulate_os_access(hart, instr, mtval)
+        except (ValueError, BusError):
+            return False
+        if kind is None:
+            return False
+        if kind == "mtimecmp" and instr.is_store:
+            # The store clobbered the hart's deadline state (native
+            # single-comparator semantics); retire the fast path's latch.
+            self.offload.timer_armed[hart.hartid] = False
+        self.machine.stats.annotate_last(
+            "miralis-emulate", detail=f"os-clint:{kind}", hart=hart.hartid
+        )
+        self._charge_host(hart, self.config.costs.vclint_access)
+        hart.state.pc = (mepc + 4) & U64
+        return True
 
     def _enter_firmware_with_trap(self, hart, vctx, code, is_interrupt, mtval,
                                   mepc) -> None:
@@ -478,6 +531,7 @@ class Miralis:
         self.machine.stats.annotate_last(
             "miralis-worldswitch",
             detail=f"reinject:{'irq' if is_interrupt else 'exc'}:{code}",
+            hart=hart.hartid,
         )
         self.switcher.enter_firmware(hart, vctx)
         if self.watchdog is not None:
@@ -531,7 +585,7 @@ class Miralis:
         # Interrupt for the virtual firmware: refresh the virtual mip and
         # let the post-trap check inject it (possibly via a world switch).
         self._refresh_vmip(hart, vctx)
-        self.machine.stats.annotate_last("miralis", detail=f"virq:{irq}")
+        self.machine.stats.annotate_last("miralis", detail=f"virq:{irq}", hart=hart.hartid)
         if not in_os:
             hart.state.pc = mepc  # resume vM; injection handled below
             return
@@ -604,7 +658,7 @@ class Miralis:
 
     def _violation(self, hart, message: str) -> None:
         self.violations.append(message)
-        self.machine.stats.annotate_last("miralis-violation", detail=message)
+        self.machine.stats.annotate_last("miralis-violation", detail=message, hart=hart.hartid)
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.emit(self.machine, "violation", hart.hartid, what=message)
@@ -657,7 +711,8 @@ class Miralis:
         """Retry a failed trap activation: re-inject the original trap."""
         self.world[hart.hartid] = World.FIRMWARE
         self._refresh_vmip(hart, vctx)
-        self._inject_firmware_trap(hart, vctx, code, is_interrupt, mtval, mepc)
+        self._inject_firmware_trap(hart, vctx, code, is_interrupt, mtval, mepc,
+                                   pin=False)
         hart.state.mode = c.U_MODE
         self._sync_physical_mie(hart, vctx)
         self._charge_host(hart, self.config.costs.inject)
@@ -676,6 +731,7 @@ class Miralis:
         self.machine.stats.annotate_last(
             "miralis-quarantine",
             detail=f"{'irq' if is_interrupt else 'exc'}:{code}",
+            hart=hart.hartid,
         )
         if self.watchdog is not None:
             self.watchdog._count(hart.hartid, "quarantined-served")

@@ -44,7 +44,7 @@ class FastPath:
         self.hits[name] += 1
         stats = self.machine.stats
         stats.note_fastpath()
-        stats.annotate_last("miralis-fastpath", detail=f"offload:{name}")
+        stats.annotate_last("miralis-fastpath", detail=f"offload:{name}", hart=hart.hartid)
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.fastpath(self.machine, hart.hartid, name)
@@ -138,8 +138,15 @@ class FastPath:
 
     def _sbi_set_timer(self, hart, vctx: VirtContext, deadline: int) -> SbiRet:
         hartid = hart.hartid
+        vclint = self.miralis.vclint
         try:
-            self.miralis.vclint.set_monitor_deadline(hartid, deadline)
+            # Natively there is one comparator per hart and the firmware's
+            # set_timer handler clobbers it; retire any deadline the OS
+            # programmed directly into the virtual slot so a stale earlier
+            # value cannot fire a spurious tick the native machine never
+            # sees.
+            vclint.mtimecmp[hartid] = U64
+            vclint.set_monitor_deadline(hartid, deadline)
         except BusError:
             # Transient CLINT fault: the deadline is latched virtually on
             # retry; report failure so the OS re-arms.
@@ -153,16 +160,28 @@ class FastPath:
         )
         return SbiRet.success()
 
-    def _ipi_targets(self, hart_mask: int, mask_base: int) -> Optional[list[int]]:
-        """Decode an SBI hart mask; None if any target is out of range."""
+    def _ipi_targets(self, hart_mask: int, mask_base: int) -> tuple[list[int], bool]:
+        """Decode an SBI hart mask, mirroring the firmware's bit-order walk.
+
+        Returns ``(targets, ok)``: the valid targets *up to the first
+        out-of-range one*, and whether the whole mask was valid.  The
+        firmware delivers to each target as it walks the mask and fails
+        at the first invalid hart, so a mixed mask partially delivers —
+        validating the whole mask up front and delivering nothing was a
+        divergence from both the slow path and native execution.
+        """
         num_harts = self.machine.config.num_harts
         if mask_base == U64:
-            return list(range(num_harts))
-        targets = [mask_base + i for i in range(64) if hart_mask >> i & 1]
-        for target in targets:
+            return list(range(num_harts)), True
+        targets: list[int] = []
+        for i in range(64):
+            if not hart_mask >> i & 1:
+                continue
+            target = mask_base + i
             if not 0 <= target < num_harts:
-                return None
-        return targets
+                return targets, False
+            targets.append(target)
+        return targets, True
 
     def _deliver_ipi(self, hart, vctx: VirtContext, targets: list[int]) -> None:
         # Every target — the caller included — gets its MSIP set in the
@@ -180,21 +199,21 @@ class FastPath:
 
     def _sbi_send_ipi(self, hart, vctx: VirtContext, hart_mask: int,
                       mask_base: int) -> SbiRet:
-        targets = self._ipi_targets(hart_mask, mask_base)
-        if targets is None:
-            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
+        targets, ok = self._ipi_targets(hart_mask, mask_base)
         hart.charge(self.costs.fastpath_ipi)
         self._deliver_ipi(hart, vctx, targets)
+        if not ok:
+            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
         return SbiRet.success()
 
     def _sbi_rfence(self, hart, vctx: VirtContext, call: SbiCall) -> SbiRet:
         # Reuses the IPI delivery machinery but charges the rfence class
         # cost only — delivery MMIO is still paid per remote target.
-        targets = self._ipi_targets(call.arg(0), call.arg(1))
-        if targets is None:
-            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
+        targets, ok = self._ipi_targets(call.arg(0), call.arg(1))
         hart.charge(self.costs.fastpath_rfence + hart.cycle_model.memory_fence)
         self._deliver_ipi(hart, vctx, targets)
+        if not ok:
+            return SbiRet.failure(sbi.SbiError.ERR_INVALID_PARAM)
         return SbiRet.success()
 
     # -- misaligned accesses -------------------------------------------------
@@ -254,7 +273,11 @@ class FastPath:
                 self._note(hart, "timer-interrupt")
                 return True
         if irq == c.IRQ_MSI:
-            # IPI forwarding: ack the CLINT, raise SSIP for the OS.
+            # IPI forwarding: ack the CLINT, raise SSIP for the OS.  The
+            # firmware's msip view tracks the physical bit (a direct OS
+            # msip write mirrors into it), so the ack clears both — a
+            # stale shadow would later inject a phantom virtual MSI.
+            self.miralis.vclint.msip[hartid] = 0
             try:
                 self.machine.clint.write(0x0 + 4 * hartid, 4, 0)
             except BusError:

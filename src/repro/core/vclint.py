@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import bugs
 from repro.hart import clint as clint_regs
 from repro.isa import constants as c
 from repro.isa.instructions import Instruction
@@ -135,6 +136,79 @@ class VirtualClint:
         value = hart.state.get_xreg(instr.rs2) & ((1 << (size * 8)) - 1)
         self._write(offset, size, value, hart.hartid)
         return None
+
+    def emulate_os_access(
+        self,
+        hart,
+        instr: Instruction,
+        address: int,
+    ) -> Optional[str]:
+        """Emulate a trapped *OS-world* access to the CLINT region.
+
+        The native firmware's PMP grants S-mode the CLINT, so a native OS
+        reads and writes the device directly; under the monitor the region
+        is protected and the access faults here instead.  The OS must see
+        *native* semantics — the physical device, where one comparator per
+        hart serves firmware and OS alike:
+
+        - loads serve the physical registers (``mtime`` from the clock,
+          ``msip``/``mtimecmp`` from the device — the comparator holds
+          ``min(virtual, monitor)``, exactly the value a native comparator
+          would);
+        - ``msip`` stores pass through physically, so the IPI or ack is
+          architecturally delivered and the usual MSI forwarding paths run;
+        - ``mtimecmp`` stores clobber the hart's *whole* deadline state
+          (virtual and monitor), as a native store clobbers the single
+          physical comparator.
+
+        Returns the register kind accessed ("mtime"/"msip"/"mtimecmp") so
+        the caller can retire dependent monitor state (the fast path's
+        ``timer_armed`` latch on comparator writes), or ``None`` if the
+        instruction is not a plain load/store.  Raises ``ValueError`` or
+        ``BusError`` for accesses outside the register map.
+        """
+        if not (instr.is_load or instr.is_store):
+            return None
+        self.accesses += 1
+        offset = address - self.clint.base
+        size = instr.memory_size
+        kind, hartid, byte = self._locate(offset, size)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(self.machine, "vclint", hart.hartid,
+                        op="os-load" if instr.is_load else "os-store",
+                        offset=offset, size=size)
+        if instr.is_load:
+            value = self.clint.read(offset, size)
+            if instr.mnemonic in ("lb", "lh", "lw") and size < 8:
+                sign = 1 << (size * 8 - 1)
+                if value & sign:
+                    value |= U64 & ~((1 << (size * 8)) - 1)
+            hart.state.set_xreg(instr.rd, value)
+            return kind
+        value = hart.state.get_xreg(instr.rs2) & ((1 << (size * 8)) - 1)
+        if kind == "mtime":
+            self.clint.write(offset, size, value)  # ignored, as natively
+            return kind
+        if kind == "msip":
+            if bugs.is_active("os_ipi_write_dropped"):
+                return kind  # seeded hole: the IPI silently vanishes
+            # Mirror into the firmware's view before the physical write:
+            # the native firmware sees every msip bit regardless of who
+            # set it, and the virtual-MSI routing keys on this shadow.
+            self.msip[hartid] = value & 1
+            self.clint.write(offset, size, value)
+            return kind
+        # mtimecmp: merge into the *effective* (physical) comparator value,
+        # keep the result as the virtual deadline, and retire the monitor
+        # deadline — a native store leaves exactly one armed deadline.
+        current = self.clint.mtimecmp[hartid]
+        mask = ((1 << (8 * size)) - 1) << (8 * byte)
+        merged = (current & ~mask) | ((value << (8 * byte)) & mask)
+        self.mtimecmp[hartid] = merged & U64
+        self.monitor_mtimecmp[hartid] = U64
+        self.program_physical_timer(hartid)
+        return kind
 
     def _locate(self, offset: int, size: int) -> tuple[str, int, int]:
         """Map an access onto one register: (kind, hartid, byte offset).

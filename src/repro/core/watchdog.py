@@ -230,7 +230,7 @@ class FirmwareWatchdog:
         # annotate_last has move semantics (one annotation per trap event),
         # so the authoritative per-kind totals live in recovery_counts.
         self.machine.stats.note_recovery("recoveries", hart=hartid)
-        self.machine.stats.annotate_last("miralis-recovery", detail=reason)
+        self.machine.stats.annotate_last("miralis-recovery", detail=reason, hart=hartid)
         self._trace(hartid, "recover", reason)
         self.consecutive_failures[hartid] += 1
         attempt = self.consecutive_failures[hartid]
@@ -280,7 +280,7 @@ class FirmwareWatchdog:
         self.events.append((hartid, "quarantine", reason))
         self.machine.stats.note_recovery("quarantines", hart=hartid)
         self.machine.stats.annotate_last(
-            "miralis-recovery", detail=f"quarantine: {reason}"
+            "miralis-recovery", detail=f"quarantine: {reason}", hart=hartid
         )
         self._trace(hartid, "quarantine", reason)
         tracer = self.machine.tracer

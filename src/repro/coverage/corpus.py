@@ -1,0 +1,149 @@
+"""Persistent fuzz corpus: canonical step sequences keyed by digest.
+
+A corpus is a directory of small JSON files, one kept input each.  Every
+entry stores the *canonical* step sequence (see
+:func:`repro.verif.fuzz.canonical_steps`) — the same encoding the seed
+decoder emits, the shrinker reduces, and replay drives — plus the
+provenance of how guided fuzzing found it.  File names are derived from
+the content digest, so re-adding an input is idempotent and two corpora
+with the same inputs are byte-identical directories.
+
+Load order is file-name order, which (names being content digests) is a
+deterministic function of the corpus *contents* — the guided scheduler's
+replay pass and parent selection are therefore reproducible regardless
+of the order entries were discovered in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator, Optional
+
+from repro.verif.fuzz import canonical_steps
+
+CORPUS_SCHEMA = "repro-corpus-v1"
+
+
+def make_entry(steps, *, parent: Optional[str] = None,
+               origin: str = "manual", new_bits: int = 0,
+               new_paths: int = 0) -> dict:
+    """Build one corpus entry document around a canonical step sequence."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "steps": [[action, operand]
+                  for action, operand in canonical_steps(steps)],
+        "parent": parent,
+        "origin": origin,
+        "new_bits": int(new_bits),
+        "new_paths": int(new_paths),
+    }
+
+
+def entry_json(entry: dict) -> str:
+    """Byte-stable serialization of one entry."""
+    return json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def entry_digest(entry: dict) -> str:
+    """Content identity: the digest of the canonical *steps* only.
+
+    Provenance fields (parent, origin, keep counters) are excluded so
+    the same input found twice along different paths is one entry.
+    """
+    steps_json = json.dumps(entry["steps"], sort_keys=True,
+                            separators=(",", ":"))
+    return hashlib.sha256(steps_json.encode("utf-8")).hexdigest()
+
+
+def entry_filename(entry: dict) -> str:
+    return f"cov-{entry_digest(entry)[:16]}.json"
+
+
+class Corpus:
+    """An ordered set of kept inputs, optionally backed by a directory.
+
+    ``root=None`` keeps the corpus in memory only (campaign cells, which
+    must not race each other on shared files); with a directory, entries
+    load on construction and every :meth:`add` writes through.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        #: digest -> entry doc, insertion order irrelevant (iteration is
+        #: always over sorted digests).
+        self.entries: dict[str, dict] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+            self._load()
+
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self.root)):
+            if not (name.startswith("cov-") and name.endswith(".json")):
+                continue
+            path = os.path.join(self.root, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            self._validate(entry, source=name)
+            self.entries[entry_digest(entry)] = entry
+
+    @staticmethod
+    def _validate(entry: dict, source: str = "<entry>") -> None:
+        if not isinstance(entry, dict) or entry.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"{source}: not a {CORPUS_SCHEMA} document"
+            )
+        # Re-canonicalizing validates action names and operand ranges.
+        try:
+            canonical = canonical_steps(entry["steps"])
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"{source}: {exc}") from exc
+        stored = tuple((action, operand) for action, operand in entry["steps"])
+        if canonical != stored:
+            raise ValueError(f"{source}: steps are not in canonical form")
+
+    # -- mutation --------------------------------------------------------
+
+    def add(self, steps, *, parent: Optional[str] = None,
+            origin: str = "manual", new_bits: int = 0,
+            new_paths: int = 0) -> str:
+        """Keep one input; returns its digest.  Idempotent per content."""
+        entry = make_entry(steps, parent=parent, origin=origin,
+                           new_bits=new_bits, new_paths=new_paths)
+        digest = entry_digest(entry)
+        if digest in self.entries:
+            return digest
+        self.entries[digest] = entry
+        if self.root is not None:
+            path = os.path.join(self.root, entry_filename(entry))
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(entry_json(entry))
+        return digest
+
+    def add_entry(self, entry: dict) -> str:
+        """Keep an already-built entry document (merge paths)."""
+        self._validate(entry)
+        return self.add(
+            [(action, operand) for action, operand in entry["steps"]],
+            parent=entry.get("parent"), origin=entry.get("origin", "manual"),
+            new_bits=entry.get("new_bits", 0),
+            new_paths=entry.get("new_paths", 0),
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def digests(self) -> list[str]:
+        """All entry digests, sorted — the canonical iteration order."""
+        return sorted(self.entries)
+
+    def steps_of(self, digest: str) -> tuple[tuple[str, int], ...]:
+        return canonical_steps(self.entries[digest]["steps"])
+
+    def iter_steps(self) -> Iterator[tuple[str, tuple[tuple[str, int], ...]]]:
+        """(digest, steps) pairs in canonical order."""
+        for digest in self.digests():
+            yield digest, self.steps_of(digest)

@@ -220,7 +220,7 @@ class BaseFirmware(GuestProgram):
         ctx.mret()
 
     def _handle_interrupt(self, ctx: GuestContext, code: int) -> None:
-        self.machine.stats.annotate_last("firmware", detail=f"irq:{code}")
+        self.machine.stats.annotate_last("firmware", detail=f"irq:{code}", hart=ctx.hart.hartid, injected=True)
         hartid = ctx.csrr(c.CSR_MHARTID)
         if code == c.IRQ_MTI:
             # Timer multiplexing: hand the timer to S-mode and park ours.
@@ -247,7 +247,7 @@ class BaseFirmware(GuestProgram):
             if self.emulate_misaligned(ctx, code):
                 return
         self.unexpected_traps.append(code)
-        self.machine.stats.annotate_last("firmware", detail=f"unhandled:{code}")
+        self.machine.stats.annotate_last("firmware", detail=f"unhandled:{code}", hart=ctx.hart.hartid, injected=True)
         self.panic(ctx, f"unhandled exception {code}")
 
     def panic(self, ctx: GuestContext, message: str) -> None:
@@ -265,7 +265,7 @@ class BaseFirmware(GuestProgram):
     def _handle_sbi_call(self, ctx: GuestContext) -> None:
         call = SbiCall.from_regs([ctx.trap_reg(i) for i in range(32)])
         self.sbi_counts[call.name] += 1
-        self.machine.stats.annotate_last("firmware", detail=f"sbi:{call.name}")
+        self.machine.stats.annotate_last("firmware", detail=f"sbi:{call.name}", hart=ctx.hart.hartid, injected=True)
         ret = self.dispatch_sbi(ctx, call)
         if call.eid in sbi.LEGACY_EXTENSIONS:
             # Legacy calls return only a0.
@@ -485,7 +485,7 @@ class BaseFirmware(GuestProgram):
             return False
         if instr.mnemonic not in ("csrrs", "csrrc") or instr.rs1 != 0:
             return False
-        self.machine.stats.annotate_last("firmware", detail="emulate:time-read")
+        self.machine.stats.annotate_last("firmware", detail="emulate:time-read", hart=ctx.hart.hartid, injected=True)
         mtime = ctx.load(self.machine.clint.mtime_address, size=8)
         ctx.set_trap_reg(instr.rd, mtime)
         ctx.csrw(c.CSR_MEPC, ctx.csrr(c.CSR_MEPC) + 4)
@@ -497,7 +497,7 @@ class BaseFirmware(GuestProgram):
         address = ctx.csrr(c.CSR_MTVAL)
         if instr is None or not (instr.is_load or instr.is_store):
             return False
-        self.machine.stats.annotate_last("firmware", detail="emulate:misaligned")
+        self.machine.stats.annotate_last("firmware", detail="emulate:misaligned", hart=ctx.hart.hartid, injected=True)
         size = instr.memory_size
         if instr.is_load:
             value = 0

@@ -98,7 +98,7 @@ class ZephyrFirmware(GuestProgram):
 
     def handle_trap(self, ctx: GuestContext) -> None:
         cause = ctx.csrr(c.CSR_MCAUSE)
-        self.machine.stats.annotate_last("firmware", detail="zephyr-trap")
+        self.machine.stats.annotate_last("firmware", detail="zephyr-trap", hart=ctx.hart.hartid, injected=True)
         if cause & c.INTERRUPT_BIT and (cause & ~c.INTERRUPT_BIT) == c.IRQ_MTI:
             self.ticks += 1
             hartid = ctx.csrr(c.CSR_MHARTID)

@@ -71,6 +71,14 @@ class Hart:
                     self.machine, self.hartid,
                     outcome.trap.cause, outcome.trap.is_interrupt,
                 )
+            coverage = self.machine.coverage
+            if coverage is not None:
+                view = self.machine.world_view
+                coverage.record(
+                    self.hartid, outcome.trap.cause,
+                    outcome.trap.is_interrupt, self.state.pc,
+                    None if view is None else view[self.hartid],
+                )
         self.charge(cost)
         self.instret += 1
         self.state.csr._simple[c.CSR_MINSTRET] = self.instret
@@ -101,6 +109,13 @@ class Hart:
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.trap_entry(self.machine, self.hartid, trap.cause, True)
+        coverage = self.machine.coverage
+        if coverage is not None:
+            view = self.machine.world_view
+            coverage.record(
+                self.hartid, trap.cause, True, self.state.pc,
+                None if view is None else view[self.hartid],
+            )
         return True
 
     def __repr__(self) -> str:

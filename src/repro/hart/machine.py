@@ -119,6 +119,13 @@ class Machine:
         #: default) preserves the legacy run-to-completion hart flow and
         #: keeps the per-instruction check down to one branch.
         self.scheduler = None
+        #: Active :class:`~repro.coverage.CoverageMap`, if any.  None
+        #: (the default) keeps each trap-record site down to one branch.
+        self.coverage = None
+        #: Installed by the VFM: its per-hart world list, so the coverage
+        #: hook can key traps on the executing world.  None on a bare
+        #: machine (recorded as the NATIVE world).
+        self.world_view = None
         bus = self.spec_bus
         register_stats_provider(
             "bus.devices",

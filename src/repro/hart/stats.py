@@ -59,6 +59,8 @@ class TrapStats:
         #: Per-hart recovery decisions; always sums to recovery_counts.
         self.recovery_counts_by_hart: dict[int, Counter] = defaultdict(Counter)
         self._last: Optional[TrapEvent] = None
+        self._last_by_hart: dict[int, TrapEvent] = {}
+        self._injected_by_hart: dict[int, TrapEvent] = {}
 
     def record_trap(self, hart, cause, is_interrupt, from_mode, mtime) -> TrapEvent:
         event = TrapEvent(hart, cause, is_interrupt, from_mode, mtime)
@@ -67,9 +69,23 @@ class TrapStats:
         if self.keep_events:
             self.events.append(event)
         self._last = event
+        self._last_by_hart[hart] = event
         return event
 
-    def annotate_last(self, handler: str, detail: str = "") -> None:
+    def pin_injected(self, hart: int) -> None:
+        """Mark this hart's most recent trap as the one delivered to the
+        virtual firmware.  Emulating the firmware's handler raises further
+        traps on the same hart (every privileged instruction faults into
+        the monitor), so by the time the handler classifies its trap, the
+        hart's *last* event is one of those emulation traps — the handler
+        must annotate the pinned injection instead."""
+        event = self._last_by_hart.get(hart)
+        if event is not None:
+            self._injected_by_hart[hart] = event
+
+    def annotate_last(self, handler: str, detail: str = "",
+                      hart: Optional[int] = None,
+                      injected: bool = False) -> None:
         """Record which subsystem handled the most recent trap.
 
         Each trap is counted under exactly one handler: re-annotating (a
@@ -77,8 +93,23 @@ class TrapStats:
         miss turning into a world switch) moves the count to the final
         handler.  Without a recorded trap this is a no-op, keeping
         ``sum(handler_counts.values()) <= total_traps`` invariant.
+
+        Pass ``hart`` to annotate that hart's most recent trap.  Firmware
+        trap handling spans scheduler slices under SMP, so by the time
+        the handler annotates, another hart may have recorded its own
+        trap — the machine-global last event would then be the wrong one.
+
+        ``injected=True`` (guest trap handlers) targets the trap the
+        monitor delivered to this hart's virtual firmware — see
+        ``pin_injected``.  Natively nothing ever pins, and the call falls
+        back to the hart's last trap, which *is* the trap being served.
         """
-        event = self._last
+        if hart is None:
+            event = self._last
+        elif injected and hart in self._injected_by_hart:
+            event = self._injected_by_hart[hart]
+        else:
+            event = self._last_by_hart.get(hart)
         if event is None:
             return
         if event.handler != "unclassified":
@@ -151,3 +182,5 @@ class TrapStats:
         self.recovery_counts.clear()
         self.recovery_counts_by_hart.clear()
         self._last = None
+        self._last_by_hart.clear()
+        self._injected_by_hart.clear()

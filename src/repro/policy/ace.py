@@ -210,7 +210,7 @@ class AcePolicy(PolicyModule):
         self._reinstall_pmp(hart)
         hart.state.set_xreg(10, 0)
         hart.state.set_xreg(11, tvm_id)
-        self.machine.stats.annotate_last("policy-ace", detail="promote")
+        self.machine.stats.annotate_last("policy-ace", detail="promote", hart=hart.hartid)
 
     def _sbi_destroy(self, hart, call: SbiCall) -> None:
         tvm = self.tvms.get(call.arg(0))
@@ -220,7 +220,7 @@ class AcePolicy(PolicyModule):
         tvm.state = TvmState.DESTROYED
         self._reinstall_pmp(hart)
         hart.state.set_xreg(10, 0)
-        self.machine.stats.annotate_last("policy-ace", detail="destroy")
+        self.machine.stats.annotate_last("policy-ace", detail="destroy", hart=hart.hartid)
 
     def _sbi_vcpu_run(self, hart, call: SbiCall) -> None:
         tvm = self.tvms.get(call.arg(0))
@@ -228,7 +228,7 @@ class AcePolicy(PolicyModule):
             hart.state.set_xreg(10, ERR_NOT_RUNNABLE & U64)
             return
         self._enter_tvm(hart, tvm)
-        self.machine.stats.annotate_last("policy-ace", detail="vcpu-run")
+        self.machine.stats.annotate_last("policy-ace", detail="vcpu-run", hart=hart.hartid)
 
     # ------------------------------------------------------------------
     # TVM context switching (with H-extension CSR save/restore)
@@ -312,14 +312,14 @@ class AcePolicy(PolicyModule):
             tvm.saved_vm_regs = None
             tvm.state = TvmState.DONE
             self._exit_tvm(hart, tvm, (0, EXIT_DONE))
-            self.machine.stats.annotate_last("policy-ace", detail="tvm-done")
+            self.machine.stats.annotate_last("policy-ace", detail="tvm-done", hart=hart.hartid)
             return
         # I/O request: suspend the TVM, report the request to the host.
         tvm.saved_vm_regs = hart.state.xregs
         tvm.saved_vm_pc = (hart.state.csr.mepc + 4) & U64
         tvm.state = TvmState.RUNNABLE
         self._exit_tvm(hart, tvm, (0, EXIT_GUEST_REQUEST, call.arg(0), call.arg(1)))
-        self.machine.stats.annotate_last("policy-ace", detail="guest-request")
+        self.machine.stats.annotate_last("policy-ace", detail="guest-request", hart=hart.hartid)
 
     def on_os_trap(self, hart, vctx: VirtContext, trap) -> PolicyAction:
         if self.active_tvm is None:
@@ -330,7 +330,7 @@ class AcePolicy(PolicyModule):
         # guests have none): kill the TVM rather than retry forever.
         tvm.state = TvmState.DONE
         self._exit_tvm(hart, tvm, (ERR_NOT_RUNNABLE & U64, EXIT_DONE))
-        self.machine.stats.annotate_last("policy-ace", detail="tvm-fault")
+        self.machine.stats.annotate_last("policy-ace", detail="tvm-fault", hart=hart.hartid)
         return PolicyAction.HANDLED
 
     def on_interrupt(self, hart, vctx: VirtContext, irq: int) -> PolicyAction:
@@ -343,5 +343,5 @@ class AcePolicy(PolicyModule):
         tvm.saved_vm_pc = hart.state.csr.mepc
         tvm.state = TvmState.RUNNABLE
         self._exit_tvm(hart, tvm, (0, EXIT_INTERRUPTED))
-        self.machine.stats.annotate_last("policy-ace", detail="interrupted")
+        self.machine.stats.annotate_last("policy-ace", detail="interrupted", hart=hart.hartid)
         return PolicyAction.HANDLED

@@ -204,7 +204,7 @@ class KeystonePolicy(PolicyModule):
         self._reinstall_pmp(hart)
         hart.state.set_xreg(10, 0)
         hart.state.set_xreg(11, eid)
-        self.machine.stats.annotate_last("policy-keystone", detail="create")
+        self.machine.stats.annotate_last("policy-keystone", detail="create", hart=hart.hartid)
 
     def _sbi_destroy(self, hart, call: SbiCall) -> None:
         enclave = self.enclaves.get(call.arg(0))
@@ -214,7 +214,7 @@ class KeystonePolicy(PolicyModule):
         enclave.state = EnclaveState.DESTROYED
         self._reinstall_pmp(hart)
         hart.state.set_xreg(10, 0)
-        self.machine.stats.annotate_last("policy-keystone", detail="destroy")
+        self.machine.stats.annotate_last("policy-keystone", detail="destroy", hart=hart.hartid)
 
     def _sbi_run(self, hart, call: SbiCall) -> None:
         enclave = self.enclaves.get(call.arg(0))
@@ -222,7 +222,7 @@ class KeystonePolicy(PolicyModule):
             hart.state.set_xreg(10, ERR_NOT_RUNNABLE if enclave else ERR_INVALID_ID)
             return
         self._enter_enclave(hart, enclave, entry=enclave.app.region.base)
-        self.machine.stats.annotate_last("policy-keystone", detail="run")
+        self.machine.stats.annotate_last("policy-keystone", detail="run", hart=hart.hartid)
 
     def _sbi_resume(self, hart, call: SbiCall) -> None:
         enclave = self.enclaves.get(call.arg(0))
@@ -230,7 +230,7 @@ class KeystonePolicy(PolicyModule):
             hart.state.set_xreg(10, ERR_NOT_RUNNABLE if enclave else ERR_INVALID_ID)
             return
         self._enter_enclave(hart, enclave, entry=None)
-        self.machine.stats.annotate_last("policy-keystone", detail="resume")
+        self.machine.stats.annotate_last("policy-keystone", detail="resume", hart=hart.hartid)
 
     # ------------------------------------------------------------------
     # Context switching
@@ -303,7 +303,7 @@ class KeystonePolicy(PolicyModule):
         if call.fid == FN_EXIT_ENCLAVE:
             self._exit_enclave(hart, enclave, (0, call.arg(0)))
             enclave.state = EnclaveState.STOPPED
-            self.machine.stats.annotate_last("policy-keystone", detail="exit")
+            self.machine.stats.annotate_last("policy-keystone", detail="exit", hart=hart.hartid)
             return PolicyAction.HANDLED
         if call.fid == FN_STOP_ENCLAVE:
             self._suspend_enclave(hart, enclave)
@@ -356,5 +356,5 @@ class KeystonePolicy(PolicyModule):
         enclave.interrupts_taken += 1
         self._exit_enclave(hart, enclave, (ENCLAVE_INTERRUPTED,))
         enclave.state = EnclaveState.INTERRUPTED
-        self.machine.stats.annotate_last("policy-keystone", detail="interrupted")
+        self.machine.stats.annotate_last("policy-keystone", detail="interrupted", hart=hart.hartid)
         return PolicyAction.HANDLED

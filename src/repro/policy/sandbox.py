@@ -246,5 +246,5 @@ class FirmwareSandboxPolicy(PolicyModule):
         hart.charge(self.miralis.config.costs.fastpath_misaligned + size)
         hart.state.pc = (mepc + 4) & U64
         self.emulated_misaligned += 1
-        machine.stats.annotate_last("policy-sandbox", detail="emulate:misaligned")
+        machine.stats.annotate_last("policy-sandbox", detail="emulate:misaligned", hart=hart.hartid)
         return True

@@ -106,16 +106,22 @@ def bundle_from_chaos(result, *, platform: str, harts: Optional[int] = None,
 
 def bundle_from_fuzz(finding, *, platform: str, length: int,
                      source: str = "fuzz",
-                     explicit_steps: bool = False) -> dict:
+                     explicit_steps: bool = False,
+                     coverage: Optional[dict] = None) -> dict:
     """Capture a :class:`~repro.verif.fuzz.FuzzFinding` as a bundle.
 
     The workload embeds both the encoded input (seed, length) and its
     decode (the concrete step sequence); ``explicit_steps`` marks
-    bundles whose steps no longer match the seed's decode (shrunk
-    inputs), telling replay to drive the explicit sequence.
+    bundles whose steps no longer match the seed's decode (shrunk or
+    guided-mutant inputs), telling replay to drive the explicit
+    sequence.  ``coverage`` attaches the guided run's coverage summary
+    (digest/bits/paths) — informational, like the trace tails: the
+    signature stays a function of the failure alone, so shrinking a
+    guided finding still minimizes against the same reproduction target
+    while the canonical steps it reduces are the coverage-relevant ones.
     """
     diff = finding.diff()
-    return {
+    bundle = {
         "schema": BUNDLE_SCHEMA,
         "kind": "fuzz",
         "source": source,
@@ -138,6 +144,9 @@ def bundle_from_fuzz(finding, *, platform: str, length: int,
         },
         "signature": signature_from_material(fuzz_material(finding)),
     }
+    if coverage is not None:
+        bundle["coverage"] = _jsonable(coverage)
+    return bundle
 
 
 def bundle_from_verif(report_doc: dict, *, platform: str, params: dict,

@@ -53,6 +53,43 @@ ACTIONS = (
     ("satp_write", 1),
 )
 
+#: Actions the *guided* fuzzer can mutate into a scenario but the seed
+#: decoder never generates.  Kept out of :data:`ACTIONS` so existing
+#: seeds decode to exactly the same sequences they always did — adding
+#: a name to the weighted choice list would silently re-map every seed.
+EXTENDED_ACTIONS = (
+    ("ipi_mask", 2),       # send_ipi with a fuzzed (mask, base) pair
+    ("fence_mask", 1),     # remote fence with a fuzzed (mask, base) pair
+    ("clint_access", 3),   # direct S-mode load/store into the CLINT
+    ("timer_raw", 2),      # set_timer with due/past/imminent deadlines
+)
+
+ALL_ACTIONS = ACTIONS + EXTENDED_ACTIONS
+
+#: Every action name a canonical step sequence may contain.
+ACTION_NAMES = tuple(name for name, _weight in ALL_ACTIONS)
+
+U32 = (1 << 32) - 1
+
+
+def canonical_steps(steps) -> tuple[tuple[str, int], ...]:
+    """Normalize a step sequence to its canonical encoded form.
+
+    One encoding shared by every consumer — the seed decoder, the triage
+    shrinker, bundle replay, and the coverage corpus: action names must
+    be known (a typo'd corpus entry fails loudly instead of silently
+    no-op'ing through the workload dispatch) and operands are masked to
+    the 32-bit range the generator draws from, so a JSON round-trip
+    through any of those paths reproduces the identical scenario.
+    """
+    canonical = []
+    for action, operand in steps:
+        name = str(action)
+        if name not in ACTION_NAMES:
+            raise ValueError(f"unknown fuzz action {name!r}")
+        canonical.append((name, int(operand) & U32))
+    return tuple(canonical)
+
 
 @dataclasses.dataclass(frozen=True)
 class Scenario:
@@ -70,10 +107,10 @@ class Scenario:
     steps: Optional[tuple[tuple[str, int], ...]] = None
 
     def actions(self) -> list[tuple[str, int]]:
-        """The (action, operand) sequence this scenario denotes."""
+        """The (action, operand) sequence this scenario denotes, in
+        canonical form (see :func:`canonical_steps`) on both branches."""
         if self.steps is not None:
-            return [(str(action), int(operand))
-                    for action, operand in self.steps]
+            return list(canonical_steps(self.steps))
         rng = random.Random(self.seed)
         names = [name for name, weight in ACTIONS for _ in range(weight)]
         return [
@@ -120,7 +157,8 @@ class Observation:
 def _run_scenario(scenario: Scenario, virtualized: bool,
                   offload: bool = True,
                   max_dispatches: int = MAX_DISPATCHES_PER_CASE,
-                  wall_seconds: float = WALL_SECONDS_PER_CASE) -> Observation:
+                  wall_seconds: float = WALL_SECONDS_PER_CASE,
+                  coverage=None) -> Observation:
     import time
 
     observation = Observation()
@@ -186,6 +224,75 @@ def _run_scenario(scenario: Scenario, virtualized: bool,
             elif action == "satp_write":
                 ctx.csrw(c.CSR_SATP, (8 << 60) | (operand & 0xFFFFF))
                 observation.values.append(("csr", ctx.csrr(c.CSR_SATP)))
+            elif action == "ipi_mask":
+                # Fuzzed (mask, base): bases 4 and 5 put some or all mask
+                # bits out of range on a 4-hart platform, probing the
+                # partial-delivery/error-code contract.
+                error, _ = kernel.sbi_send_ipi(
+                    ctx, operand & 0xF, (operand >> 4) % 6
+                )
+                observation.values.append(("sbi", error))
+                ctx.compute(50)  # delivery point
+            elif action == "fence_mask":
+                error, _ = kernel.sbi_remote_fence_i(
+                    ctx, operand & 0xF, (operand >> 4) % 6
+                )
+                observation.values.append(("sbi", error))
+                ctx.compute(50)
+            elif action == "clint_access":
+                # Direct S-mode MMIO into the CLINT — allowed by the
+                # native firmware's PMP, emulated under the monitor.
+                clint_base = scenario.platform.clint_base
+                select = operand % 4
+                if select == 0:
+                    # mtime is a time value: compared by ordering only.
+                    observation.values.append(
+                        ("time", ctx.load(clint_base + 0xBFF8, size=8))
+                    )
+                elif select == 1:
+                    # Self-IPI by hand: raise msip, let it deliver, ack.
+                    ctx.store(clint_base, 1, size=4)
+                    ctx.compute(50)
+                    ctx.store(clint_base, 0, size=4)
+                    observation.values.append(
+                        ("mem", ctx.load(clint_base, size=4))
+                    )
+                elif select == 2:
+                    # Comparator read: performed for the trap path it
+                    # exercises, but not recorded — the value is a
+                    # deadline whose ordering against neighbouring time
+                    # reads legitimately differs between deployments
+                    # (the monitor parks fired deadlines at 2^64-1).
+                    ctx.load(clint_base + 0x4000, size=8)
+                else:
+                    # Byte-granular comparator write: push the deadline
+                    # to the far future and read the byte back.
+                    ctx.store(clint_base + 0x4000 + 7, 0x7F, size=1)
+                    observation.values.append(
+                        ("mem", ctx.load(clint_base + 0x4000 + 7, size=1))
+                    )
+            elif action == "timer_raw":
+                # Deadlines the polite set_timer action never produces:
+                # already due, in the past, or imminent.  Spin for the
+                # tick so delivery lands inside the scenario on both
+                # deployments (as in set_timer).
+                now = kernel.read_time(ctx)
+                mode = operand % 3
+                if mode == 0:
+                    deadline = now
+                elif mode == 1:
+                    deadline = max(0, now - 1 - operand % 512)
+                else:
+                    deadline = now + 30 + operand % 200
+                kernel.sbi_set_timer(ctx, deadline)
+                ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+                before = kernel.timer_ticks
+                for _ in range(2_000):
+                    if kernel.timer_ticks != before:
+                        break
+                    ctx.compute(300)
+                else:
+                    observation.values.append(("stall", 1))
         # Final memory snapshot of the scratch area.
         observation.memory = [
             ctx.load(base + offset, size=8) for offset in range(0, 64, 8)
@@ -200,6 +307,11 @@ def _run_scenario(scenario: Scenario, virtualized: bool,
                      workload=workload, keep_trap_events=False, **kwargs)
     system.machine.max_dispatches = max_dispatches
     system.machine.wall_deadline = time.monotonic() + wall_seconds
+    if coverage is not None:
+        # One map may span both halves of a differential case; reset the
+        # edge chain so no phantom cross-run edge appears.
+        coverage.begin_run()
+        system.machine.coverage = coverage
     try:
         observation.halt_reason = system.run()
     except MachineHalted as halted:
@@ -264,24 +376,28 @@ def fuzz_scenario(seed: int, length: int = 40,
                   offload: bool = True,
                   max_dispatches: int = MAX_DISPATCHES_PER_CASE,
                   wall_seconds: float = WALL_SECONDS_PER_CASE,
-                  steps=None,
+                  steps=None, coverage=None,
                   ) -> Optional[FuzzFinding]:
     """Run one differential case; returns a finding or None.
 
     ``steps`` replays an explicit (action, operand) sequence instead of
-    the seed's decode (triage shrink/replay).
+    the seed's decode (triage shrink/replay).  ``coverage`` is an
+    optional :class:`~repro.coverage.CoverageMap` that accumulates the
+    trap paths of *both* halves of the case (the native and virtualized
+    runs record into distinct worlds).
     """
     scenario = Scenario(
         seed=seed, length=length, platform=platform,
-        steps=None if steps is None
-        else tuple((str(a), int(o)) for a, o in steps),
+        steps=None if steps is None else canonical_steps(steps),
     )
     native = _run_scenario(scenario, virtualized=False,
                            max_dispatches=max_dispatches,
-                           wall_seconds=wall_seconds).normalized()
+                           wall_seconds=wall_seconds,
+                           coverage=coverage).normalized()
     virtual = _run_scenario(scenario, virtualized=True, offload=offload,
                             max_dispatches=max_dispatches,
-                            wall_seconds=wall_seconds).normalized()
+                            wall_seconds=wall_seconds,
+                            coverage=coverage).normalized()
     blown = any(
         obs["crashed"] is not None and obs["crashed"].startswith("budget")
         for obs in (native, virtual)

@@ -1,0 +1,77 @@
+"""The covfuzz campaign family: sharded guided fuzzing, exact merges.
+
+Coverage union is commutative and associative, so the aggregate's
+coverage document — digest included — must be byte-identical at any
+worker count, and every kept entry in the aggregate must be a valid
+corpus entry a single-process fold-back can absorb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    canonical_json,
+    covfuzz_cells,
+    merge_campaign,
+    run_campaign,
+)
+from repro.coverage import Corpus, CoverageMap
+
+
+def _matrix():
+    return covfuzz_cells(cells=3, cases=4, length=4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def aggregates():
+    cells = _matrix()
+    return {
+        workers: merge_campaign(run_campaign(cells, workers=workers,
+                                             timeout=120.0))
+        for workers in (1, 2, 4)
+    }
+
+
+class TestByteIdenticalAcrossWorkers:
+    def test_canonical_json_identical(self, aggregates):
+        serial = canonical_json(aggregates[1])
+        assert canonical_json(aggregates[2]) == serial
+        assert canonical_json(aggregates[4]) == serial
+
+    def test_coverage_digest_present_and_stable(self, aggregates):
+        digests = {a["covfuzz"]["coverage_digest"]
+                   for a in aggregates.values()}
+        assert len(digests) == 1
+
+
+class TestAggregateShape:
+    def test_union_matches_per_cell_documents(self, aggregates):
+        aggregate = aggregates[1]
+        union = CoverageMap.from_doc(aggregate["covfuzz"]["coverage"])
+        assert union.digest() == aggregate["covfuzz"]["coverage_digest"]
+        assert aggregate["covfuzz"]["report"]["paths"] == union.path_count()
+        # Three independent cells each ran 4 cases.
+        assert aggregate["covfuzz"]["executed"] == 12
+
+    def test_kept_entries_fold_into_a_corpus(self, aggregates, tmp_path):
+        aggregate = aggregates[2]
+        kept = aggregate["covfuzz"]["kept"]
+        assert kept  # guided runs over an empty map always keep something
+        assert [item["digest"] for item in kept] == sorted(
+            item["digest"] for item in kept
+        )
+        corpus = Corpus(str(tmp_path / "corpus"))
+        for item in kept:
+            assert corpus.add_entry(item["entry"]) == item["digest"]
+        assert len(corpus) == len(kept)
+
+    def test_cells_carry_distinct_seeds(self):
+        keys = [cell.key for cell in _matrix()]
+        assert len(set(keys)) == 3
+        assert all(":s0000" in key for key in keys)
+
+    def test_no_findings_without_seeded_bugs(self, aggregates):
+        for aggregate in aggregates.values():
+            assert aggregate["covfuzz"]["findings"] == []
+            assert aggregate["counts"]["fail"] == 0

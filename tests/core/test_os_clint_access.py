@@ -1,0 +1,127 @@
+"""OS-world CLINT MMIO accesses must behave as they do natively.
+
+Regression tests for a virtualization hole: the native firmware's PMP
+grants S-mode all memory outside the firmware region, so a native OS can
+read ``mtime``, poke ``msip``, and program ``mtimecmp`` directly.  Under
+Miralis those accesses fault (the monitor protects the CLINT) and were
+re-injected into the virtualized firmware as access faults — which the
+firmware has no handler for, so the machine died with ``firmware panic:
+unhandled exception 5/7`` where native simply performs the access.
+
+The fix emulates OS-world CLINT accesses in the monitor via the virtual
+CLINT: reads serve the physical device state, ``msip`` writes deliver
+architecturally, and ``mtimecmp`` writes program the virtual comparator
+so the multiplexed physical timer fires and the usual MTI paths (fast
+path or virtual firmware injection) forward the tick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import constants as c
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_native, build_virtualized
+
+U64 = (1 << 64) - 1
+
+
+def _run(workload, virtualized, offload=True):
+    builder = build_virtualized if virtualized else build_native
+    kwargs = {"offload": offload} if virtualized else {}
+    system = builder(VISIONFIVE2, workload=workload, **kwargs)
+    reason = system.run()
+    return system, reason
+
+
+DEPLOYMENTS = [
+    pytest.param(True, True, id="virt-offload"),
+    pytest.param(True, False, id="virt-no-offload"),
+    pytest.param(False, True, id="native"),
+]
+
+
+@pytest.mark.parametrize("virtualized,offload", DEPLOYMENTS)
+def test_direct_mtime_read(virtualized, offload):
+    seen = {}
+
+    def workload(kernel, ctx):
+        mt = kernel.machine.clint.mtime_address
+        first = ctx.load(mt, size=8)
+        second = ctx.load(mt, size=8)
+        seen["monotone"] = second >= first
+
+    _, reason = _run(workload, virtualized, offload)
+    assert reason.startswith("sbi system reset")
+    assert seen["monotone"]
+
+
+@pytest.mark.parametrize("virtualized,offload", DEPLOYMENTS)
+def test_direct_msip_write_delivers_ssi(virtualized, offload):
+    seen = {}
+
+    def workload(kernel, ctx):
+        msip0 = kernel.machine.clint.msip_address(0)
+        ctx.store(msip0, 1, size=4)
+        ctx.compute(400)  # delivery point
+        seen["ssi"] = kernel.software_interrupts
+        seen["msip_after"] = ctx.load(msip0, size=4)
+
+    _, reason = _run(workload, virtualized, offload)
+    assert reason.startswith("sbi system reset")
+    assert seen["ssi"] == 1
+    assert seen["msip_after"] == 0  # acked by whoever forwarded it
+
+
+@pytest.mark.parametrize("virtualized,offload", DEPLOYMENTS)
+def test_direct_mtimecmp_write_arms_timer(virtualized, offload):
+    seen = {}
+
+    def workload(kernel, ctx):
+        mtc0 = kernel.machine.clint.mtimecmp_address(0)
+        now = kernel.read_time(ctx)
+        ctx.store(mtc0, now + 100, size=8)
+        ctx.csrs(c.CSR_SIE, c.MIP_STIP)
+        for _ in range(2_000):
+            if kernel.timer_ticks:
+                break
+            ctx.compute(500)
+        seen["ticks"] = kernel.timer_ticks
+
+    _, reason = _run(workload, virtualized, offload)
+    assert reason.startswith("sbi system reset")
+    assert seen["ticks"] >= 1
+
+
+@pytest.mark.parametrize("virtualized,offload", DEPLOYMENTS)
+def test_mtimecmp_read_after_sbi_arm(virtualized, offload):
+    """After an SBI set_timer, a direct mtimecmp read must see the armed
+    deadline (natively the comparator holds exactly that value)."""
+    seen = {}
+
+    def workload(kernel, ctx):
+        now = kernel.read_time(ctx)
+        deadline = now + 10_000_000
+        kernel.sbi_set_timer(ctx, deadline)
+        mtc0 = kernel.machine.clint.mtimecmp_address(0)
+        seen["comparator"] = ctx.load(mtc0, size=8)
+        seen["deadline"] = deadline
+
+    _, reason = _run(workload, virtualized, offload)
+    assert reason.startswith("sbi system reset")
+    assert seen["comparator"] == seen["deadline"]
+
+
+@pytest.mark.parametrize("virtualized,offload", DEPLOYMENTS)
+def test_remote_msip_read_after_sbi_ipi(virtualized, offload):
+    """An IPI to a parked hart leaves its MSIP readable as pending."""
+    seen = {}
+
+    def workload(kernel, ctx):
+        kernel.sbi_send_ipi(ctx, 0b10, 0)  # hart 1, parked
+        ctx.compute(100)
+        seen["msip1"] = ctx.load(kernel.machine.clint.msip_address(1), size=4)
+
+    _, reason = _run(workload, virtualized, offload)
+    assert reason.startswith("sbi system reset")
+    assert seen["msip1"] == 1

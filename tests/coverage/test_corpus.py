@@ -1,0 +1,130 @@
+"""The corpus: content-addressed, canonical, idempotent.
+
+Entry identity is the digest of the canonical steps alone — provenance
+never forks an entry — and a directory-backed corpus is a deterministic
+function of its contents: same inputs, byte-identical directory, same
+load order, no matter the discovery order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.coverage import (
+    CORPUS_SCHEMA,
+    Corpus,
+    entry_digest,
+    entry_json,
+    make_entry,
+)
+from repro.coverage.corpus import entry_filename
+
+STEPS_A = (("read_time", 1), ("set_timer", 40))
+STEPS_B = (("send_ipi", 3), ("compute", 500), ("misaligned_load", 7))
+
+
+class TestEntries:
+    def test_digest_covers_steps_only(self):
+        plain = make_entry(STEPS_A)
+        annotated = make_entry(STEPS_A, parent="abc", origin="guided-mutant",
+                               new_bits=5, new_paths=2)
+        assert entry_digest(plain) == entry_digest(annotated)
+        assert entry_digest(plain) != entry_digest(make_entry(STEPS_B))
+
+    def test_make_entry_canonicalizes(self):
+        entry = make_entry([["read_time", (1 << 40) + 7]])  # JSON-ish input
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert entry["steps"] == [["read_time", 7]]  # masked to 32 bits
+
+    def test_make_entry_rejects_unknown_actions(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_entry([("warp_core_breach", 1)])
+
+    def test_entry_json_is_byte_stable(self):
+        entry = make_entry(STEPS_A, origin="manual")
+        assert entry_json(entry) == entry_json(json.loads(entry_json(entry)))
+
+    def test_filename_is_digest_derived(self):
+        entry = make_entry(STEPS_A)
+        assert entry_filename(entry) == f"cov-{entry_digest(entry)[:16]}.json"
+
+
+class TestInMemoryCorpus:
+    def test_add_is_idempotent(self):
+        corpus = Corpus()
+        first = corpus.add(STEPS_A, origin="manual")
+        second = corpus.add(STEPS_A, origin="guided-mutant", new_bits=9)
+        assert first == second
+        assert len(corpus) == 1
+        # First add wins: re-finding an input does not rewrite provenance.
+        assert corpus.entries[first]["origin"] == "manual"
+
+    def test_iteration_is_sorted_by_digest(self):
+        corpus = Corpus()
+        corpus.add(STEPS_B)
+        corpus.add(STEPS_A)
+        assert corpus.digests() == sorted(corpus.digests())
+        assert [digest for digest, _ in corpus.iter_steps()] == corpus.digests()
+
+    def test_steps_round_trip_as_canonical_tuples(self):
+        corpus = Corpus()
+        digest = corpus.add(STEPS_A)
+        assert corpus.steps_of(digest) == STEPS_A
+
+    def test_add_entry_validates(self):
+        corpus = Corpus()
+        good = make_entry(STEPS_A)
+        assert corpus.add_entry(good) == entry_digest(good)
+        bad = dict(good, steps=[["read_time", 1 << 40]])  # non-canonical
+        with pytest.raises(ValueError, match="canonical"):
+            corpus.add_entry(bad)
+        with pytest.raises(ValueError, match=CORPUS_SCHEMA):
+            corpus.add_entry({"steps": []})
+
+
+class TestDirectoryCorpus:
+    def test_write_through_and_reload(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        corpus = Corpus(root)
+        digest_a = corpus.add(STEPS_A, origin="guided-fresh")
+        digest_b = corpus.add(STEPS_B, parent=digest_a,
+                              origin="guided-mutant")
+        reloaded = Corpus(root)
+        assert reloaded.digests() == sorted([digest_a, digest_b])
+        assert reloaded.entries == corpus.entries
+        assert reloaded.steps_of(digest_b) == STEPS_B
+
+    def test_same_contents_byte_identical_directories(self, tmp_path):
+        one, two = str(tmp_path / "one"), str(tmp_path / "two")
+        a = Corpus(one)
+        a.add(STEPS_A)
+        a.add(STEPS_B)
+        b = Corpus(two)
+        b.add(STEPS_B)  # opposite discovery order
+        b.add(STEPS_A)
+        files_one = sorted(os.listdir(one))
+        assert files_one == sorted(os.listdir(two))
+        for name in files_one:
+            with open(os.path.join(one, name), "rb") as f1, \
+                    open(os.path.join(two, name), "rb") as f2:
+                assert f1.read() == f2.read()
+
+    def test_load_ignores_foreign_files(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        corpus = Corpus(root)
+        corpus.add(STEPS_A)
+        (tmp_path / "corpus" / "README.txt").write_text("not an entry\n")
+        assert len(Corpus(root)) == 1
+
+    def test_load_rejects_corrupt_entries(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        Corpus(root).add(STEPS_A)
+        bad = os.path.join(root, "cov-0000000000000000.json")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"schema": CORPUS_SCHEMA,
+                                     "steps": [["no_such_action", 0]]}))
+        with pytest.raises(ValueError, match="cov-0000000000000000"):
+            Corpus(root)

@@ -1,0 +1,83 @@
+"""The dispatch-loop coverage hook, end to end.
+
+Coverage must be opt-in (``machine.coverage`` defaults to None — the
+disabled path is one branch, like the tracer), must attribute traps to
+the world that took them via the monitor's shared ``world_view``, and
+must never perturb the simulation it observes.
+"""
+
+from __future__ import annotations
+
+from repro.coverage import CoverageMap
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_native, build_virtualized
+from repro.verif.fuzz import fuzz_scenario
+
+
+def _sbi_workload(kernel, ctx):
+    now = kernel.read_time(ctx)
+    kernel.sbi_set_timer(ctx, now + 50)
+    ctx.compute(300)
+    kernel.sbi_send_ipi(ctx, 1)
+
+
+class TestOptIn:
+    def test_coverage_defaults_to_none(self):
+        system = build_virtualized(VISIONFIVE2, workload=_sbi_workload)
+        assert system.machine.coverage is None
+        assert "sbi system reset" in system.run()
+
+    def test_native_machine_has_no_world_view(self):
+        system = build_native(VISIONFIVE2, workload=_sbi_workload)
+        assert system.machine.world_view is None
+
+
+class TestAttribution:
+    def test_native_traps_attribute_to_native(self):
+        system = build_native(VISIONFIVE2, workload=_sbi_workload)
+        cov = CoverageMap()
+        system.machine.coverage = cov
+        assert "sbi system reset" in system.run()
+        assert cov.records > 0
+        assert {world for world, _c, _b, _h in cov.paths} == {"NATIVE"}
+
+    def test_virtualized_traps_attribute_to_monitor_worlds(self):
+        system = build_virtualized(VISIONFIVE2, workload=_sbi_workload)
+        cov = CoverageMap()
+        system.machine.coverage = cov
+        assert "sbi system reset" in system.run()
+        worlds = {world for world, _c, _b, _h in cov.paths}
+        # The OS's ecalls trap while the hart is in the OS world; the
+        # monitor's re-dispatch into firmware traps as FIRMWARE.
+        assert "OS" in worlds
+        assert worlds <= {"FIRMWARE", "OS"}
+
+    def test_coverage_does_not_perturb_the_run(self):
+        plain = build_virtualized(VISIONFIVE2, workload=_sbi_workload)
+        halt_plain = plain.run()
+        covered = build_virtualized(VISIONFIVE2, workload=_sbi_workload)
+        covered.machine.coverage = CoverageMap()
+        assert covered.run() == halt_plain
+        plain_steps = sum(h.instret for h in plain.machine.harts)
+        covered_steps = sum(h.instret for h in covered.machine.harts)
+        assert covered_steps == plain_steps
+        assert (covered.machine.stats.total_traps
+                == plain.machine.stats.total_traps)
+
+
+class TestDifferentialCase:
+    def test_one_case_covers_native_and_monitor_worlds(self):
+        cov = CoverageMap()
+        finding = fuzz_scenario(3, length=6, coverage=cov)
+        assert finding is None  # no seeded bugs: deployments agree
+        worlds = {world for world, _c, _b, _h in cov.paths}
+        # Both halves of the differential run feed one map: the native
+        # half as NATIVE, the virtualized half through the monitor.
+        assert "NATIVE" in worlds
+        assert "FIRMWARE" in worlds or "OS" in worlds
+
+    def test_differential_coverage_is_deterministic(self):
+        a, b = CoverageMap(), CoverageMap()
+        assert fuzz_scenario(3, length=6, coverage=a) is None
+        assert fuzz_scenario(3, length=6, coverage=b) is None
+        assert a.canonical_json() == b.canonical_json()

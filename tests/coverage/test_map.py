@@ -1,0 +1,235 @@
+"""The coverage map: deterministic slots, order-independent union.
+
+The whole guided-fuzzing story rests on two properties of
+:class:`~repro.coverage.map.CoverageMap`: identical trap sequences
+produce byte-identical documents in any process (no salted hashes, no
+timestamps), and union is commutative/associative so campaign shards
+merge to the same bytes at any worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vcpu import World
+from repro.coverage import (
+    BLOCK_BITS,
+    COVERAGE_SCHEMA,
+    CoverageMap,
+    MAP_BITS,
+    MAP_SIZE,
+    trap_path_space,
+)
+from repro.coverage.map import WORLD_KEYS, cause_key
+
+
+def _record_sequence(cov: CoverageMap, traps) -> None:
+    cov.begin_run()
+    for hartid, cause, is_interrupt, pc, world in traps:
+        cov.record(hartid, cause, is_interrupt, pc, world)
+
+
+TRAPS_A = [
+    (0, 9, False, 0x8000_0000, None),
+    (0, 7, True, 0x8000_0040, World.FIRMWARE),
+    (1, 2, False, 0x4020_0010, World.OS),
+    (0, 9, False, 0x8000_0000, None),
+]
+TRAPS_B = [
+    (0, 5, True, 0x8000_0080, World.OS),
+    (1, 0, False, 0x4020_0400, World.FIRMWARE),
+]
+
+
+class TestDeterminism:
+    def test_same_traps_same_digest(self):
+        a, b = CoverageMap(), CoverageMap()
+        _record_sequence(a, TRAPS_A)
+        _record_sequence(b, TRAPS_A)
+        assert a.canonical_json() == b.canonical_json()
+        assert a.digest() == b.digest()
+
+    def test_different_traps_different_digest(self):
+        a, b = CoverageMap(), CoverageMap()
+        _record_sequence(a, TRAPS_A)
+        _record_sequence(b, TRAPS_B)
+        assert a.digest() != b.digest()
+
+    def test_record_counts(self):
+        cov = CoverageMap()
+        _record_sequence(cov, TRAPS_A)
+        assert cov.records == len(TRAPS_A)
+        # One repeated trap: three distinct paths out of four records.
+        assert cov.path_count() == 3
+        assert cov.bit_count() >= 3
+
+    def test_world_none_is_native(self):
+        cov = CoverageMap()
+        cov.record(0, 8, False, 0x8000_0000, None)
+        cov.record(0, 8, False, 0x8000_0000, World.FIRMWARE)
+        cov.record(0, 8, False, 0x8000_0000, World.OS)
+        worlds = {world for world, _c, _b, _h in cov.paths}
+        assert worlds == {"NATIVE", "FIRMWARE", "OS"}
+
+    def test_pc_block_drops_low_bits_only(self):
+        cov = CoverageMap()
+        cov.begin_run()
+        cov.record(0, 8, False, 0x8000_0000, None)
+        cov.begin_run()
+        cov.record(0, 8, False, 0x8000_0000 | ((1 << BLOCK_BITS) - 1), None)
+        assert cov.path_count() == 1  # same 16-byte block
+        cov.begin_run()
+        cov.record(0, 8, False, 0x8000_0000 + (1 << BLOCK_BITS), None)
+        assert cov.path_count() == 2  # next block is distinct
+
+
+class TestEdgeChaining:
+    def test_trap_order_changes_the_bitmap(self):
+        # Three *distinct* traps on one hart: reversing a palindromic
+        # sequence would produce the same edges.
+        traps = [
+            (0, 9, False, 0x8000_0000, None),
+            (0, 7, True, 0x8000_0040, World.FIRMWARE),
+            (0, 2, False, 0x4020_0010, World.OS),
+        ]
+        forward, backward = CoverageMap(), CoverageMap()
+        _record_sequence(forward, traps)
+        _record_sequence(backward, list(reversed(traps)))
+        # Same path set, different edges: that is what makes this a
+        # *path* map rather than a trap-set map.
+        assert forward.paths == backward.paths
+        assert bytes(forward.bits) != bytes(backward.bits)
+
+    def test_begin_run_breaks_cross_run_edges(self):
+        together = CoverageMap()
+        _record_sequence(together, TRAPS_A)
+        _record_sequence(together, TRAPS_B)  # begin_run between runs
+
+        separate = CoverageMap()
+        _record_sequence(separate, TRAPS_A)
+        other = CoverageMap()
+        _record_sequence(other, TRAPS_B)
+        separate.union(other)
+
+        # With chaining reset at the boundary, two runs in one map equal
+        # the union of the runs recorded in separate maps: no phantom
+        # edge from the last trap of run A into the first trap of run B.
+        assert together.canonical_json() == separate.canonical_json()
+
+    def test_chaining_is_per_hart(self):
+        interleaved = CoverageMap()
+        _record_sequence(interleaved, [
+            (0, 9, False, 0x8000_0000, None),
+            (1, 9, False, 0x8000_0000, None),
+            (0, 7, True, 0x8000_0040, None),
+        ])
+        sequential = CoverageMap()
+        _record_sequence(sequential, [
+            (0, 9, False, 0x8000_0000, None),
+            (0, 7, True, 0x8000_0040, None),
+            (1, 9, False, 0x8000_0000, None),
+        ])
+        # Hart 1's trap between hart 0's two traps must not break hart
+        # 0's edge: per-hart chains make SMP interleavings stable.
+        assert interleaved.canonical_json() == sequential.canonical_json()
+
+
+class TestUnion:
+    def test_union_is_commutative_to_the_byte(self):
+        a, b = CoverageMap(), CoverageMap()
+        _record_sequence(a, TRAPS_A)
+        _record_sequence(b, TRAPS_B)
+        ab, ba = CoverageMap(), CoverageMap()
+        _record_sequence(ab, TRAPS_A)
+        other = CoverageMap()
+        _record_sequence(other, TRAPS_B)
+        ab.union(other)
+        _record_sequence(ba, TRAPS_B)
+        other2 = CoverageMap()
+        _record_sequence(other2, TRAPS_A)
+        ba.union(other2)
+        assert ab.canonical_json() == ba.canonical_json()
+
+    def test_absorb_reports_only_new_coverage(self):
+        base = CoverageMap()
+        _record_sequence(base, TRAPS_A)
+        fresh = CoverageMap()
+        _record_sequence(fresh, TRAPS_B)
+        new_bits, new_paths = base.absorb(fresh)
+        assert new_bits > 0 and new_paths == 2
+        # Absorbing the same coverage again yields nothing new.
+        again = CoverageMap()
+        _record_sequence(again, TRAPS_B)
+        assert base.absorb(again) == (0, 0)
+
+    def test_absorb_equals_union_over_final_state(self):
+        a, b = CoverageMap(), CoverageMap()
+        _record_sequence(a, TRAPS_A)
+        _record_sequence(b, TRAPS_B)
+        absorbed = CoverageMap()
+        _record_sequence(absorbed, TRAPS_A)
+        absorbed.absorb(b)
+        unioned = CoverageMap()
+        _record_sequence(unioned, TRAPS_A)
+        unioned.union(b)
+        assert absorbed.canonical_json() == unioned.canonical_json()
+
+
+class TestSerialization:
+    def test_doc_round_trip_is_exact(self):
+        cov = CoverageMap()
+        _record_sequence(cov, TRAPS_A)
+        clone = CoverageMap.from_doc(cov.to_doc())
+        assert clone.canonical_json() == cov.canonical_json()
+        assert clone.digest() == cov.digest()
+
+    def test_doc_declares_schema_and_geometry(self):
+        doc = CoverageMap().to_doc()
+        assert doc["schema"] == COVERAGE_SCHEMA
+        assert doc["map_bits"] == MAP_BITS
+        assert doc["block_bits"] == BLOCK_BITS
+        assert len(bytes.fromhex(doc["bits"])) == MAP_SIZE // 8
+
+    def test_from_doc_rejects_wrong_schema(self):
+        doc = CoverageMap().to_doc()
+        doc["schema"] = "something-else"
+        with pytest.raises(ValueError, match="schema"):
+            CoverageMap.from_doc(doc)
+
+    def test_from_doc_rejects_geometry_mismatch(self):
+        doc = CoverageMap().to_doc()
+        doc["map_bits"] = MAP_BITS + 1
+        with pytest.raises(ValueError, match="geometry"):
+            CoverageMap.from_doc(doc)
+
+    def test_from_doc_rejects_truncated_bitmap(self):
+        doc = CoverageMap().to_doc()
+        doc["bits"] = doc["bits"][:-2]
+        with pytest.raises(ValueError, match="length"):
+            CoverageMap.from_doc(doc)
+
+
+class TestReport:
+    def test_trap_path_space_is_the_full_denominator(self):
+        space = trap_path_space()
+        assert len(space) == 60  # 3 worlds x (14 exceptions + 6 interrupts)
+        assert {world for world, _ in space} == set(WORLD_KEYS)
+        for world in WORLD_KEYS:
+            assert sum(1 for w, _ in space if w == world) == 20
+
+    def test_cause_key_folds_the_interrupt_bit(self):
+        assert cause_key(7, False) == 7
+        assert cause_key(7, True) == 0x107
+        assert cause_key(7, True) != cause_key(7, False)
+
+    def test_report_counts_match_paths(self):
+        cov = CoverageMap()
+        _record_sequence(cov, TRAPS_A)
+        report = cov.report()
+        assert report["records"] == len(TRAPS_A)
+        assert report["paths"] == cov.path_count()
+        assert report["pairs_total"] == 60
+        assert report["pairs_covered"] == len(cov.covered_pairs())
+        covered = sum(entry["covered"] for entry in report["worlds"].values())
+        assert covered == report["pairs_covered"]
+        assert sorted(report["worlds"]) == sorted(WORLD_KEYS)

@@ -51,16 +51,21 @@ class TestVirtualInterruptInjection:
             while kernel.timer_ticks == before:
                 ctx.compute(400)
             seen["ticks"] = kernel.timer_ticks - before
+            # The injected MTI's event carries the *final* handler: the
+            # firmware classified it as irq:7.  The world-switch counter
+            # proves it got there by re-injection, not natively.
+            seen["world_switches"] = machine.stats.world_switches
             seen["virq"] = [
-                detail for detail, count in
-                machine.stats.detail_counts().items()
-                if detail.startswith("reinject:irq")
+                event for event in machine.stats.events
+                if event.is_interrupt and event.handler == "firmware"
+                and event.detail == f"irq:{c.IRQ_MTI}"
             ]
 
         system = build_virtualized(VISIONFIVE2, workload=workload,
                                    offload=False)
         system.run()
         assert seen["ticks"] >= 1
+        assert seen["world_switches"] >= 1
         assert seen["virq"], "the MTI must have been re-injected into vM"
 
     def test_firmware_wfi_waits_for_virtual_timer(self):

@@ -1,0 +1,75 @@
+"""Trap events must be annotated on the hart that took them.
+
+Regression tests for cross-hart trap misattribution:
+``TrapStats.annotate_last`` tracked one machine-global "last" event, but
+firmware trap handling spans scheduler slices — under SMP another hart
+records its own trap in between, and the firmware's annotation then
+lands on the *wrong hart's* event.  The observable symptom: exception
+events carrying interrupt details (``irq:3`` on an ECALL) and interrupt
+events carrying SBI-dispatch details (``sbi:rfence`` on an MSI), which
+are physically impossible pairings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.os_model.workloads import SMP_WORKLOADS
+from repro.spec.platform import VISIONFIVE2
+from repro.system import build_native, build_virtualized
+
+
+def _impossible_pairings(stats):
+    """Annotations that cannot belong to the event they landed on."""
+    wrong = []
+    for event in stats.events:
+        if event.is_interrupt and (event.detail.startswith("sbi:")
+                                   or event.detail.startswith("emulate:")):
+            wrong.append(event)
+        if not event.is_interrupt and event.detail.startswith("irq:"):
+            wrong.append(event)
+    return wrong
+
+
+def _run_smp(builder, workload_name, harts=2, **kwargs):
+    primary, secondary = SMP_WORKLOADS[workload_name]()
+    platform = dataclasses.replace(VISIONFIVE2, num_harts=harts)
+    system = builder(platform, workload=primary,
+                     secondary_workload=secondary,
+                     start_secondaries=harts > 1, **kwargs)
+    system.run_smp(quantum=50, seed=0)
+    return system
+
+
+@pytest.mark.parametrize("workload", ["ipi-pingpong", "rfence-storm",
+                                      "timer-contention"])
+def test_no_misattributed_annotations_virtualized(workload):
+    system = _run_smp(build_virtualized, workload, offload=False)
+    wrong = _impossible_pairings(system.machine.stats)
+    assert not wrong, (
+        f"{len(wrong)} events annotated with details from another trap, "
+        f"e.g. hart={wrong[0].hart} cause={wrong[0].cause} "
+        f"irq={wrong[0].is_interrupt} detail={wrong[0].detail!r}"
+    )
+
+
+def test_no_misattributed_annotations_native():
+    system = _run_smp(build_native, "rfence-storm")
+    wrong = _impossible_pairings(system.machine.stats)
+    assert not wrong, (
+        f"{len(wrong)} native events annotated with details from another "
+        f"trap, e.g. hart={wrong[0].hart} detail={wrong[0].detail!r}"
+    )
+
+
+def test_annotations_target_the_annotating_hart():
+    """With per-hart attribution, every firmware SBI annotation sits on
+    an ECALL event and every ``irq:`` annotation on an interrupt."""
+    system = _run_smp(build_virtualized, "ipi-pingpong", offload=False)
+    for event in system.machine.stats.events:
+        if event.detail.startswith("sbi:"):
+            assert not event.is_interrupt
+        if event.detail.startswith("irq:"):
+            assert event.is_interrupt

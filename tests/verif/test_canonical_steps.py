@@ -1,0 +1,70 @@
+"""One canonical step encoding for decoder, shrinker, corpus, and replay.
+
+``canonical_steps`` is the shared normal form: JSON round-trips through
+a bundle, a corpus entry, or a shrink candidate must reproduce the
+identical scenario, and a typo'd action must fail loudly instead of
+silently no-op'ing through the workload dispatch table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verif.fuzz import (
+    ACTION_NAMES,
+    ACTIONS,
+    EXTENDED_ACTIONS,
+    Scenario,
+    canonical_steps,
+)
+
+
+class TestCanonicalSteps:
+    def test_tuples_lists_and_json_forms_normalize_identically(self):
+        as_tuples = (("read_time", 3), ("compute", 100))
+        as_lists = [["read_time", 3], ["compute", 100]]
+        assert canonical_steps(as_tuples) == canonical_steps(as_lists)
+        assert canonical_steps(as_tuples) == as_tuples
+
+    def test_operands_masked_to_32_bits(self):
+        assert canonical_steps([("compute", (1 << 35) + 9)]) == (
+            ("compute", 9),
+        )
+        assert canonical_steps([("compute", (1 << 32) - 1)]) == (
+            ("compute", (1 << 32) - 1),
+        )
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(ValueError, match="unknown fuzz action"):
+            canonical_steps([("read_time", 1), ("frobnicate", 2)])
+
+    def test_idempotent(self):
+        steps = canonical_steps([("send_ipi", 1), ("set_timer", 40)])
+        assert canonical_steps(steps) == steps
+
+    def test_every_known_action_is_accepted(self):
+        steps = [(name, 1) for name in ACTION_NAMES]
+        assert canonical_steps(steps) == tuple((name, 1)
+                                               for name in ACTION_NAMES)
+
+
+class TestScenarioUsesCanonicalForm:
+    def test_explicit_steps_are_canonicalized(self):
+        scenario = Scenario(seed=0, length=2,
+                            steps=(("read_time", (1 << 33) + 5),))
+        assert scenario.actions() == [("read_time", 5)]
+
+    def test_decode_is_already_canonical(self):
+        decoded = Scenario(seed=99, length=50).actions()
+        assert tuple(decoded) == canonical_steps(decoded)
+
+    def test_decoded_actions_stay_in_the_base_alphabet(self):
+        # Adding actions to the decoder would remap every existing
+        # seed's decode; extended actions must stay mutation-only.
+        base = {name for name, _weight in ACTIONS}
+        extended = {name for name, _weight in EXTENDED_ACTIONS}
+        assert not (base & extended)
+        for seed in (0, 1, 7, 123, 9999):
+            decoded = {action for action, _operand
+                       in Scenario(seed=seed, length=64).actions()}
+            assert decoded <= base
