@@ -373,8 +373,18 @@ def chaos_cells(firmwares: Iterable[str] = ("opensbi",),
                 seeds: Iterable[int] = (0,),
                 platform: str = "visionfive2",
                 harts: Optional[int] = None,
-                trace_dir: Optional[str] = None) -> list[CampaignCell]:
-    """The chaos matrix: firmware x plan x seed (optionally at N harts)."""
+                trace_dir: Optional[str] = None,
+                phase: Optional[str] = None,
+                warm_start: bool = False) -> list[CampaignCell]:
+    """The chaos matrix: firmware x plan x seed (optionally at N harts).
+
+    ``phase`` names the boot phase fault injection starts at; it shapes
+    the work, so it is part of the cell key.  ``warm_start`` only decides
+    *how* a cell reaches the phase (restore a per-worker checkpoint vs
+    re-simulate the boot) — results are identical by construction, so it
+    is deliberately NOT in the key: warm and cold campaigns over the same
+    matrix must produce byte-identical canonical aggregates.
+    """
     cells = []
     for firmware in firmwares:
         for plan in plans:
@@ -382,10 +392,16 @@ def chaos_cells(firmwares: Iterable[str] = ("opensbi",),
                 key = f"chaos:{platform}:{firmware}:{plan}:s{seed}"
                 if harts is not None:
                     key += f":h{harts}"
+                if phase is not None:
+                    key += f":p{phase}"
                 params = dict(firmware=firmware, plan=plan, seed=seed,
                               platform=platform, harts=harts)
                 if trace_dir is not None:
                     params["trace_dir"] = trace_dir
+                if phase is not None:
+                    params["phase"] = phase
+                if warm_start:
+                    params["warm_start"] = True
                 cells.append(CampaignCell.make("chaos", key, **params))
     return cells
 
@@ -407,6 +423,8 @@ def _run_chaos_cell(params: dict) -> tuple[str, dict]:
         platform=PLATFORMS[params["platform"]],
         harts=params["harts"],
         tracer=tracer,
+        phase=params.get("phase"),
+        warm_start=params.get("warm_start", False),
     )
     if tracer is not None:
         import os
@@ -421,6 +439,9 @@ def _run_chaos_cell(params: dict) -> tuple[str, dict]:
         "plan": result.plan,
         "seed": result.seed,
         "harts": params["harts"],
+        # How the phase was reached (warm vs cold) is excluded on
+        # purpose: aggregates must not differ between the two.
+        "phase": params.get("phase"),
         "ok": result.ok,
         "halt": result.halt_reason,
         "checkpoint": result.checkpoint,

@@ -398,13 +398,13 @@ def command_cov_report(args: argparse.Namespace) -> int:
     corpus = Corpus(args.corpus)
     coverage = CoverageMap()
     divergences = 0
-    for _digest, steps in corpus.iter_steps():
+    for digest, steps in corpus.iter_steps():
         case = CoverageMap()
         finding = fuzz_scenario(
             0, platform=PLATFORMS[args.platform],
             offload=not args.no_offload, steps=steps, coverage=case,
         )
-        coverage.absorb(case)
+        coverage.absorb(case, source=digest)
         if finding is not None:
             divergences += 1
     report = coverage.report()
@@ -472,12 +472,33 @@ def command_campaign(args: argparse.Namespace) -> int:
             corpus_dir=args.corpus,
         )
     if "chaos" in families:
+        from repro.faults.chaos import WARM_FIRMWARES
+
         seeds = [int(s) for s in _parse_list(args.chaos_seeds)]
+        phase = args.chaos_phase
+        if args.warm_start and phase is None:
+            phase = "kernel-entry"
+        if args.warm_start and args.chaos_trace_dir is not None:
+            # A boot-time trace is exactly what a warm start skips.
+            print("--warm-start is incompatible with --chaos-trace-dir")
+            return 2
+        if args.warm_start and args.chaos_harts is not None:
+            print("--warm-start is incompatible with --chaos-harts "
+                  "(SMP runs are not checkpointable)")
+            return 2
+        firmwares = _parse_list(args.chaos_firmwares)
+        if args.warm_start:
+            bad = [f for f in firmwares if f not in WARM_FIRMWARES]
+            if bad:
+                print(f"--warm-start supports {', '.join(WARM_FIRMWARES)}; "
+                      f"not {', '.join(bad)}")
+                return 2
         cells += chaos_cells(
-            firmwares=_parse_list(args.chaos_firmwares),
+            firmwares=firmwares,
             plans=_parse_list(args.chaos_plans),
             seeds=seeds, platform=args.platform,
             harts=args.chaos_harts, trace_dir=args.chaos_trace_dir,
+            phase=phase, warm_start=args.warm_start,
         )
     cells = _filter_shard(cells, _parse_shard(args.shard))
     if not cells:
@@ -591,6 +612,103 @@ def _save_campaign_bundles(campaign, bundle_dir: str) -> int:
     return saved
 
 
+def _snapshot_summary(checkpoint) -> str:
+    state = checkpoint.state
+    return (f"platform:  {checkpoint.platform}\n"
+            f"phase:     {checkpoint.phase or '-'}\n"
+            f"harts:     {state['num_harts']}\n"
+            f"cycles:    {state['machine']['cycles']}\n"
+            f"ram pages: {len(checkpoint.pages)}\n"
+            f"digest:    {checkpoint.digest()}")
+
+
+def command_snapshot(args: argparse.Namespace) -> int:
+    """``repro snapshot save/load/diff``: the checkpoint store."""
+    from repro.snapshot import (
+        SnapshotError,
+        capture,
+        diff_checkpoints,
+        load_checkpoint,
+        restore,
+        save_checkpoint,
+    )
+
+    if args.snapshot_command == "save":
+        from repro.faults.chaos import _build_sbi_system
+
+        platform = PLATFORMS[args.platform]
+        system, _ = _build_sbi_system(platform, args.firmware)
+        machine = system.machine
+        if not machine.boot_to(system.kernel.entry_point,
+                               entry=system.miralis.region.base):
+            print(f"boot halted before {args.phase}: "
+                  f"{machine.halt_reason or 'halted'}")
+            return 1
+        checkpoint = capture(machine, phase=args.phase)
+        path = save_checkpoint(checkpoint, args.dir)
+        print(_snapshot_summary(checkpoint))
+        print(f"saved:     {path}")
+        return 0
+
+    if args.snapshot_command == "load":
+        try:
+            checkpoint = load_checkpoint(args.file)
+        except (OSError, ValueError, SnapshotError) as exc:
+            print(f"cannot load checkpoint {args.file!r}: {exc}")
+            return 2
+        print(_snapshot_summary(checkpoint))
+        if args.check:
+            # Round-trip proof: restore into a fresh machine and
+            # re-capture; a faithful restore reproduces the digest.
+            from repro.faults.chaos import _build_sbi_system
+
+            platform = PLATFORMS[args.platform]
+            system, _ = _build_sbi_system(platform, args.firmware)
+            try:
+                restore(system.machine, checkpoint)
+            except SnapshotError as exc:
+                print(f"restore failed: {exc}")
+                return 1
+            recaptured = capture(system.machine, phase=checkpoint.phase)
+            if recaptured.digest() == checkpoint.digest():
+                print("check:     restore round-trip reproduces the digest")
+                return 0
+            print("check:     FAILED — restore+capture digest mismatch")
+            return 1
+        return 0
+
+    if args.snapshot_command == "diff":
+        try:
+            a = load_checkpoint(args.a)
+            b = load_checkpoint(args.b)
+        except (OSError, ValueError, SnapshotError) as exc:
+            print(f"cannot load checkpoint: {exc}")
+            return 2
+        differences = diff_checkpoints(a, b, limit=args.limit)
+        if not differences:
+            print("checkpoints are identical")
+            return 0
+        def _short(value) -> str:
+            text = repr(value)
+            # RAM pages render as 8 KiB hex strings; keep diffs readable.
+            return text if len(text) <= 96 else f"{text[:93]}..."
+
+        for entry in differences:
+            if entry["missing"] == "a":
+                print(f"  {entry['path']}: only in b = {_short(entry['b'])}")
+            elif entry["missing"] == "b":
+                print(f"  {entry['path']}: only in a = {_short(entry['a'])}")
+            else:
+                print(f"  {entry['path']}: "
+                      f"{_short(entry['a'])} -> {_short(entry['b'])}")
+        print(f"{len(differences)} difference(s)"
+              + (" (truncated)" if len(differences) >= args.limit else ""))
+        return 1
+
+    print(f"unknown snapshot command {args.snapshot_command!r}")
+    return 2
+
+
 def command_replay(args: argparse.Namespace) -> int:
     from repro.triage import load_bundle, replay_bundle
 
@@ -602,6 +720,16 @@ def command_replay(args: argparse.Namespace) -> int:
     print(f"replaying {bundle['kind']} bundle "
           f"(signature {bundle['signature']['digest'][:12]}, "
           f"source {bundle.get('source', '?')})")
+    if args.bisect:
+        from repro.triage import bisect_divergence
+
+        try:
+            result = bisect_divergence(bundle)
+        except ValueError as exc:
+            print(f"cannot bisect: {exc}")
+            return 2
+        print(result.report())
+        return 0 if result.reproduced else 1
     replay = replay_bundle(bundle)
     print(replay.report())
     return 0 if replay.matches else 1
@@ -852,6 +980,16 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="run chaos cells at N harts under the SMP "
                                "scheduler")
+    campaign.add_argument("--chaos-phase", default=None,
+                          choices=["kernel-entry"],
+                          help="start chaos fault injection at a named boot "
+                               "phase (the boot up to it runs fault-free)")
+    campaign.add_argument("--warm-start", action="store_true",
+                          help="reach the chaos phase by restoring a cached "
+                               "checkpoint once per worker instead of "
+                               "re-simulating the boot per cell (implies "
+                               "--chaos-phase=kernel-entry; results are "
+                               "byte-identical to a cold run)")
     campaign.add_argument("--chaos-trace-dir", default=None, metavar="DIR",
                           help="write a Chrome trace dump per chaos cell "
                                "into DIR")
@@ -865,6 +1003,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute a repro bundle; exit 0 only on a byte-for-byte "
              "signature match",
     )
+    replay.add_argument("--bisect", action="store_true",
+                        help="binary-search the minimal diverging step "
+                             "prefix of a fuzz bundle (O(log n) replays) "
+                             "instead of replaying it whole")
     replay.add_argument("bundle", help="bundle JSON written by --bundle / "
                                        "--bundle-dir / shrink")
     replay.set_defaults(func=command_replay)
@@ -886,6 +1028,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-candidate replay timeout in seconds "
                              "(default 60)")
     shrink.set_defaults(func=command_shrink)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="capture, inspect, and diff machine checkpoints "
+             "(content-addressed store)",
+    )
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command",
+                                           required=True)
+    snap_save = snapshot_sub.add_parser(
+        "save", help="boot to the kernel-entry phase and save a checkpoint")
+    snap_save.add_argument("dir", help="checkpoint store directory")
+    snap_save.add_argument("--firmware", default="opensbi",
+                           choices=["opensbi", "rustsbi"],
+                           help="SBI firmware to boot (default: opensbi)")
+    snap_save.add_argument("--phase", default="kernel-entry",
+                           choices=["kernel-entry"],
+                           help="boot phase to capture at")
+    _add_platform_argument(snap_save)
+    snap_load = snapshot_sub.add_parser(
+        "load", help="load a checkpoint file, verify its content address, "
+                     "and print a summary")
+    snap_load.add_argument("file", help="checkpoint JSON (cp-<digest>.json)")
+    snap_load.add_argument("--check", action="store_true",
+                           help="also restore into a fresh machine and "
+                                "verify the re-captured digest matches")
+    snap_load.add_argument("--firmware", default="opensbi",
+                           choices=["opensbi", "rustsbi"],
+                           help="with --check: firmware to assemble the "
+                                "fresh machine with (default: opensbi)")
+    _add_platform_argument(snap_load)
+    snap_diff = snapshot_sub.add_parser(
+        "diff", help="path-labelled state diff between two checkpoints")
+    snap_diff.add_argument("a", help="first checkpoint file")
+    snap_diff.add_argument("b", help="second checkpoint file")
+    snap_diff.add_argument("--limit", type=int, default=200,
+                           help="max differences to print (default 200)")
+    snapshot.set_defaults(func=command_snapshot)
 
     trace = sub.add_parser("trace", help="inspect a --trace=FILE document")
     trace.add_argument("file", help="trace JSON written by boot --trace=FILE")

@@ -91,22 +91,17 @@ class FirmwareWatchdog:
 
     def _activation_snapshot(self, hart, vctx) -> dict:
         """Everything a retry (or replay) must restore: the full virtual
-        context *and* this hart's virtual-CLINT shadows.  The per-hart
-        msip/mtimecmp shadows are activation state too — a retried
-        activation that inherited a half-programmed virtual timer or a
-        stale self-IPI would diverge from a fresh replay of the same
-        bundle."""
-        snap = {"vctx": vctx.snapshot()}
-        vclint = getattr(self.miralis, "vclint", None)
-        if vclint is not None:
-            snap["vclint"] = vclint.snapshot_hart(hart.hartid)
-        return snap
+        context, this hart's virtual-CLINT shadows, the firmware region's
+        RAM pages (copy-on-write), and the stats/tracer epochs — see
+        :mod:`repro.snapshot.activation` for the full contract."""
+        from repro.snapshot.activation import capture_activation
+
+        return capture_activation(self, hart, vctx)
 
     def _activation_restore(self, hart, vctx, snap: dict) -> None:
-        vctx.restore(snap["vctx"])
-        vclint = getattr(self.miralis, "vclint", None)
-        if vclint is not None and "vclint" in snap:
-            vclint.restore_hart(hart.hartid, snap["vclint"])
+        from repro.snapshot.activation import restore_activation
+
+        restore_activation(self, hart, vctx, snap)
 
     def arm_boot(self, hart, vctx) -> None:
         """A firmware boot activation begins (cold boot or retry)."""
@@ -230,7 +225,6 @@ class FirmwareWatchdog:
         # annotate_last has move semantics (one annotation per trap event),
         # so the authoritative per-kind totals live in recovery_counts.
         self.machine.stats.note_recovery("recoveries", hart=hartid)
-        self.machine.stats.annotate_last("miralis-recovery", detail=reason, hart=hartid)
         self._trace(hartid, "recover", reason)
         self.consecutive_failures[hartid] += 1
         attempt = self.consecutive_failures[hartid]
@@ -246,6 +240,10 @@ class FirmwareWatchdog:
         backoff = self.config.retry_backoff_cycles * (1 << (attempt - 1))
         self.miralis._charge_host(hart, backoff)
         self._activation_restore(hart, vctx, snapshot)
+        # Annotate *after* the restore: the rewind truncated the abandoned
+        # activation's trap events, so the annotation lands on the trap
+        # that survives it — the one whose handling is being retried.
+        self.machine.stats.annotate_last("miralis-recovery", detail=reason, hart=hartid)
         self._reset_activation(hartid)
         if pending[0] == "boot":
             self.miralis.reenter_firmware_boot(hart, vctx)
@@ -279,15 +277,15 @@ class FirmwareWatchdog:
         self._count(hartid, "quarantines")
         self.events.append((hartid, "quarantine", reason))
         self.machine.stats.note_recovery("quarantines", hart=hartid)
-        self.machine.stats.annotate_last(
-            "miralis-recovery", detail=f"quarantine: {reason}", hart=hartid
-        )
         self._trace(hartid, "quarantine", reason)
         tracer = self.machine.tracer
         if tracer is not None:
             tracer.note_quarantine(reason)
         pending = self._pending[hartid]
         snapshot = self._snapshots[hartid]
+        # Record the bundle material *before* any restore: the record's
+        # trap tail is flight-recorder evidence of the abandoned
+        # activation, which the epoch rewind below would truncate.
         self._record_quarantine(hartid, reason, pending)
         self._pending[hartid] = None
         self._snapshots[hartid] = None
@@ -295,6 +293,9 @@ class FirmwareWatchdog:
                 and self.os_entered[hartid]):
             if snapshot is not None:
                 self._activation_restore(hart, vctx, snapshot)
+            self.machine.stats.annotate_last(
+                "miralis-recovery", detail=f"quarantine: {reason}", hart=hartid
+            )
             # Drop the firmware's M-level interrupt enables: nothing will
             # service them again, and leaving them armed would storm.
             vctx.mie &= c.SIP_MASK
@@ -304,6 +305,9 @@ class FirmwareWatchdog:
             )
             raise FirmwareRecovered(f"quarantined: {reason}")
         # Boot-time failure (or no OS yet): nothing to fall back to.
+        self.machine.stats.annotate_last(
+            "miralis-recovery", detail=f"quarantine: {reason}", hart=hartid
+        )
         vctx.mie &= c.SIP_MASK
         self.machine.halt(f"miralis: firmware quarantined ({reason})")
         raise MachineHalted(self.machine.halt_reason)

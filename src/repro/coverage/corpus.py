@@ -57,6 +57,20 @@ def entry_digest(entry: dict) -> str:
     return hashlib.sha256(steps_json.encode("utf-8")).hexdigest()
 
 
+def steps_digest(steps) -> str:
+    """Content identity of a bare step sequence.
+
+    Equals :func:`entry_digest` of any entry holding these steps — the
+    coverage layer uses it to attribute folds by executed input, so a
+    case replayed along two routes is counted once.
+    """
+    canonical = [[action, operand]
+                 for action, operand in canonical_steps(steps)]
+    steps_json = json.dumps(canonical, sort_keys=True,
+                            separators=(",", ":"))
+    return hashlib.sha256(steps_json.encode("utf-8")).hexdigest()
+
+
 def entry_filename(entry: dict) -> str:
     return f"cov-{entry_digest(entry)[:16]}.json"
 

@@ -20,7 +20,7 @@ import dataclasses
 import random
 from typing import Optional
 
-from repro.coverage.corpus import Corpus
+from repro.coverage.corpus import Corpus, steps_digest
 from repro.coverage.map import CoverageMap
 from repro.spec.platform import PlatformConfig, VISIONFIVE2
 from repro.verif.fuzz import (
@@ -127,9 +127,12 @@ def run_guided_fuzz(corpus: Corpus, *, seed: int = 0, cases: int = 50,
         )
         return case_cov, finding
 
-    for _digest, steps in corpus.iter_steps():
+    for digest, steps in corpus.iter_steps():
         case_cov, finding = run_case(steps)
-        result.coverage.absorb(case_cov)
+        # Attribute by content digest: replaying the same entry again —
+        # a later guided run, another campaign cell — folds to a no-op,
+        # so aggregated record counts stay honest.
+        result.coverage.absorb(case_cov, source=digest)
         result.replayed += 1
         if finding is not None:
             result.findings.append(finding)
@@ -149,7 +152,8 @@ def run_guided_fuzz(corpus: Corpus, *, seed: int = 0, cases: int = 50,
                                  splice_with=splice_with)
         case_cov, finding = run_case(steps)
         result.executed += 1
-        new_bits, new_paths = result.coverage.absorb(case_cov)
+        new_bits, new_paths = result.coverage.absorb(
+            case_cov, source=steps_digest(steps))
         if new_bits or new_paths:
             digest = corpus.add(
                 steps, parent=parent,

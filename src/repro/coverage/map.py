@@ -99,9 +99,20 @@ class CoverageMap:
         self.bits = bytearray(MAP_SIZE // 8)
         #: Exact keys seen: (world, cause_key, pc_block, hart).
         self.paths: set[tuple[str, int, int, int]] = set()
-        self.records = 0
+        #: Records attributed to a named fold source (a corpus-entry
+        #: digest): folding the same source twice — a second guided run,
+        #: two campaign cells replaying the shared corpus — counts once.
+        self.source_records: dict[str, int] = {}
+        #: Records with no source attribution (live recording, legacy
+        #: documents); accumulates on every fold.
+        self._unsourced = 0
         #: Per-hart previous slot for edge chaining; cleared per run.
         self._prev: dict[int, int] = {}
+
+    @property
+    def records(self) -> int:
+        """Total traps folded in, deduplicated by fold source."""
+        return self._unsourced + sum(self.source_records.values())
 
     # -- recording -------------------------------------------------------
 
@@ -128,7 +139,7 @@ class CoverageMap:
         self.bits[edge >> 3] |= 1 << (edge & 7)
         self._prev[hartid] = slot
         self.paths.add((world_name, ckey, pc_block, hartid))
-        self.records += 1
+        self._unsourced += 1
 
     # -- queries ---------------------------------------------------------
 
@@ -170,15 +181,27 @@ class CoverageMap:
 
     def union(self, other: "CoverageMap") -> None:
         """In-place union; commutative and associative over final state
-        (edge-chain scratch state is per-run and never merged)."""
+        (edge-chain scratch state is per-run and never merged).  Sources
+        both sides folded are counted once — the same corpus entry
+        replayed by two campaign cells contributes identical records, so
+        first-wins is exact, not an approximation."""
         for index, byte in enumerate(other.bits):
             self.bits[index] |= byte
         self.paths |= other.paths
-        self.records += other.records
+        for source, count in other.source_records.items():
+            self.source_records.setdefault(source, count)
+        self._unsourced += other._unsourced
 
-    def absorb(self, other: "CoverageMap") -> tuple[int, int]:
+    def absorb(self, other: "CoverageMap",
+               source: Optional[str] = None) -> tuple[int, int]:
         """Union ``other`` in; returns (new bitmap bits, new exact paths)
-        — the guided fuzzer's keep signal."""
+        — the guided fuzzer's keep signal.
+
+        ``source`` names the executed input (a corpus-entry digest); a
+        source already folded is a no-op, making fold-back idempotent.
+        """
+        if source is not None and source in self.source_records:
+            return 0, 0
         new_bits = 0
         for index, byte in enumerate(other.bits):
             fresh = byte & ~self.bits[index]
@@ -187,13 +210,18 @@ class CoverageMap:
                 self.bits[index] |= byte
         new_paths = len(other.paths - self.paths)
         self.paths |= other.paths
-        self.records += other.records
+        if source is not None:
+            self.source_records[source] = other.records
+        else:
+            for other_source, count in other.source_records.items():
+                self.source_records.setdefault(other_source, count)
+            self._unsourced += other._unsourced
         return new_bits, new_paths
 
     # -- serialization ---------------------------------------------------
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "schema": COVERAGE_SCHEMA,
             "map_bits": MAP_BITS,
             "block_bits": BLOCK_BITS,
@@ -201,6 +229,9 @@ class CoverageMap:
             "bits": bytes(self.bits).hex(),
             "paths": sorted(list(path) for path in self.paths),
         }
+        if self.source_records:
+            doc["sources"] = dict(sorted(self.source_records.items()))
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "CoverageMap":
@@ -219,7 +250,11 @@ class CoverageMap:
             (str(world), int(ckey), int(block), int(hart))
             for world, ckey, block, hart in doc["paths"]
         }
-        cov.records = int(doc.get("records", 0))
+        cov.source_records = {str(source): int(count) for source, count
+                              in doc.get("sources", {}).items()}
+        # Legacy documents (no sources) carry all records unsourced.
+        cov._unsourced = (int(doc.get("records", 0))
+                          - sum(cov.source_records.values()))
         return cov
 
     def canonical_json(self) -> str:

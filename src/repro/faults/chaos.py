@@ -26,6 +26,24 @@ from repro.spec.platform import PlatformConfig, VISIONFIVE2
 #: Firmware payloads the chaos suite exercises.
 CHAOS_FIRMWARES = ("opensbi", "rustsbi", "zephyr", "malicious")
 
+#: Named boot phases a chaos run can start injecting faults at.  With a
+#: phase, the boot up to that point runs fault-free and the injector is
+#: armed at the phase boundary — which is also the machine's quiescent
+#: checkpoint boundary, so a warm start (restoring a cached
+#: :mod:`repro.snapshot` checkpoint instead of re-simulating the boot)
+#: is observationally identical.
+CHAOS_PHASES = ("kernel-entry",)
+
+#: Firmwares eligible for warm starts: deterministic SBI boots whose
+#: kernel handoff is independent of the fault plan.
+WARM_FIRMWARES = ("opensbi", "rustsbi")
+
+#: Per-process cache of phase checkpoints, keyed by
+#: ``(platform, firmware)`` — each campaign worker boots each
+#: (platform, firmware) pair once and forks every later cell from the
+#: captured checkpoint.
+_WARM_BOOTS: dict = {}
+
 #: Budget for one chaos run.  Generous against the worst plan (stall-loop
 #: burns ~8k traps across retries) yet low enough that a wedged run fails
 #: fast instead of hanging CI.
@@ -148,19 +166,10 @@ def _sbi_chaos_workload(checkpoint: list, trigger_attack: bool, secret: int):
     return workload
 
 
-def _run_sbi_chaos(
-    result: ChaosResult,
-    injector: FaultInjector,
-    platform: PlatformConfig,
-    firmware: str,
-    tracer=None,
-    smp: bool = False,
-    quantum: int = 50,
-    smp_seed: int = 0,
-    smp_jitter: int = 0,
-) -> tuple:
-    """Boot an SBI firmware (OpenSBI/RustSBI/malicious) under the sandbox
-    with the watchdog armed; returns (machine, miralis, halt_reason)."""
+def _build_sbi_system(platform: PlatformConfig, firmware: str,
+                      smp: bool = False) -> tuple:
+    """Assemble the SBI chaos platform (OpenSBI/RustSBI/malicious under
+    the sandbox policy); returns (system, workload-checkpoint list)."""
     from repro.firmware.malicious import MaliciousFirmware
     from repro.firmware.opensbi import OpenSbiFirmware
     from repro.firmware.rustsbi import RustSbiFirmware
@@ -196,16 +205,100 @@ def _run_sbi_chaos(
         miralis_config=_chaos_miralis_config(platform.vendor_csrs),
         start_secondaries=smp,
     )
+    return system, checkpoint
+
+
+def _warm_boot_checkpoint(platform: PlatformConfig, firmware: str):
+    """The cached kernel-entry checkpoint for (platform, firmware).
+
+    On a cache miss, boots a pristine system (no injector, no tracer) to
+    the firmware→kernel handoff and captures it; every later warm cell in
+    this process restores the same checkpoint instead of re-simulating
+    the boot.
+    """
+    from repro.snapshot import SnapshotError, capture
+
+    key = (platform, firmware)
+    cached = _WARM_BOOTS.get(key)
+    if cached is not None:
+        return cached
+    system, _checkpoint = _build_sbi_system(platform, firmware)
     machine = system.machine
     machine.max_dispatches = MAX_DISPATCHES
+    if not machine.boot_to(system.kernel.entry_point,
+                           entry=system.miralis.region.base):
+        raise SnapshotError(
+            f"{firmware} halted before kernel entry: "
+            f"{machine.halt_reason or 'halted'}"
+        )
+    cached = capture(machine, phase="kernel-entry")
+    _WARM_BOOTS[key] = cached
+    return cached
+
+
+def _arm_injector(system, injector: FaultInjector, tracer) -> None:
+    """Attach tracer and injector to an already-booted system.
+
+    Mirrors what a cold boot does implicitly: ``install_fault_injector``
+    hooks the devices, and ``_boot_hart`` would have wired each virtual
+    context's CSR write hook had the injector been present at boot.  Cold
+    and warm phase starts both go through here, so the two paths arm
+    identically.
+    """
+    machine = system.machine
     machine.tracer = tracer
     machine.install_fault_injector(injector)
-    if smp:
-        reason = system.run_smp(
-            quantum=quantum, seed=smp_seed, jitter=smp_jitter
-        )
+    if injector is not None:
+        for hartid, vctx in enumerate(system.miralis.vctx):
+            vctx.csr_write_hook = injector.csr_hook(hartid)
+
+
+def _run_sbi_chaos(
+    result: ChaosResult,
+    injector: FaultInjector,
+    platform: PlatformConfig,
+    firmware: str,
+    tracer=None,
+    smp: bool = False,
+    quantum: int = 50,
+    smp_seed: int = 0,
+    smp_jitter: int = 0,
+    phase: Optional[str] = None,
+    warm: bool = False,
+) -> tuple:
+    """Boot an SBI firmware (OpenSBI/RustSBI/malicious) under the sandbox
+    with the watchdog armed; returns (machine, miralis, halt_reason).
+
+    With a ``phase``, the boot up to that point runs fault-free and the
+    injector is armed at the boundary; ``warm`` reaches the boundary by
+    restoring the cached checkpoint instead of simulating the boot.
+    """
+    system, checkpoint = _build_sbi_system(platform, firmware, smp=smp)
+    machine = system.machine
+    machine.max_dispatches = MAX_DISPATCHES
+    if phase is None:
+        machine.tracer = tracer
+        machine.install_fault_injector(injector)
+        if smp:
+            reason = system.run_smp(
+                quantum=quantum, seed=smp_seed, jitter=smp_jitter
+            )
+        else:
+            reason = system.run()
     else:
-        reason = system.run()
+        if warm:
+            from repro.snapshot import restore
+
+            restore(machine, _warm_boot_checkpoint(platform, firmware))
+            machine.max_dispatches = MAX_DISPATCHES
+            reached = True
+        else:
+            reached = machine.boot_to(system.kernel.entry_point,
+                                      entry=system.miralis.region.base)
+        _arm_injector(system, injector, tracer)
+        reason = machine.boot() if reached else (
+            machine.halt_reason or "halted"
+        )
     result.checkpoint = bool(checkpoint)
     return machine, system.miralis, reason
 
@@ -253,6 +346,8 @@ def run_chaos(
     harts: Optional[int] = None,
     quantum: int = 50,
     smp_jitter: int = 0,
+    phase: Optional[str] = None,
+    warm_start: bool = False,
 ) -> ChaosResult:
     """Boot ``firmware`` under fault ``plan`` with ``seed``; never raises.
 
@@ -262,11 +357,32 @@ def run_chaos(
     ``seed``), so faults land on secondary harts too.  Zephyr runs have
     no S-mode OS to start secondaries, so ``harts`` only resizes the
     platform there.
+
+    ``phase`` starts fault injection at a named boot phase (see
+    :data:`CHAOS_PHASES`) instead of at reset; the boot up to the phase
+    runs fault-free.  ``warm_start`` reaches the phase by restoring a
+    per-process cached checkpoint instead of re-simulating the boot —
+    results are identical to a cold phase start by construction, only
+    wall-clock changes.  Phases apply to single-hart SBI runs.
     """
     if firmware not in CHAOS_FIRMWARES:
         raise ValueError(
             f"unknown firmware {firmware!r}; choose from {CHAOS_FIRMWARES}"
         )
+    if phase is not None and phase not in CHAOS_PHASES:
+        raise ValueError(
+            f"unknown phase {phase!r}; choose from {CHAOS_PHASES}"
+        )
+    if warm_start and phase is None:
+        raise ValueError("warm_start requires a phase (e.g. 'kernel-entry')")
+    if phase is not None and firmware == "zephyr":
+        raise ValueError("zephyr has no kernel-entry phase")
+    if warm_start and firmware not in WARM_FIRMWARES:
+        raise ValueError(
+            f"warm start supports {WARM_FIRMWARES}, not {firmware!r}"
+        )
+    if phase is not None and harts is not None:
+        raise ValueError("phase starts require a single-hart run")
     plan_label = plan if isinstance(plan, str) else getattr(plan, "name", "?")
     result = ChaosResult(firmware=str(firmware), plan=str(plan_label),
                          seed=seed)
@@ -292,7 +408,7 @@ def run_chaos(
             machine, miralis, reason = _run_sbi_chaos(
                 result, injector, platform, firmware, tracer=tracer,
                 smp=smp, quantum=quantum, smp_seed=seed,
-                smp_jitter=smp_jitter,
+                smp_jitter=smp_jitter, phase=phase, warm=warm_start,
             )
         result.halt_reason = reason
     except Exception as exc:  # noqa: BLE001 — the whole point: no leaks

@@ -87,6 +87,22 @@ class BaseFirmware(GuestProgram):
         self.unexpected_traps: list[int] = []
         self.detected_pmp_count = 0
 
+    # -- checkpoint hooks ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "hsm_states": list(self.hsm_states),
+            "sbi_counts": Counter(self.sbi_counts),
+            "unexpected_traps": list(self.unexpected_traps),
+            "detected_pmp_count": self.detected_pmp_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.hsm_states[:] = state["hsm_states"]
+        self.sbi_counts = Counter(state["sbi_counts"])
+        self.unexpected_traps[:] = state["unexpected_traps"]
+        self.detected_pmp_count = state["detected_pmp_count"]
+
     # ------------------------------------------------------------------
     # Boot
     # ------------------------------------------------------------------

@@ -78,6 +78,28 @@ class MaliciousFirmware(OpenSbiFirmware):
         self.monitor_address = monitor_address
         self.outcome = AttackOutcome(attack)
 
+    # -- checkpoint hooks ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["outcome"] = {
+            "name": self.outcome.name,
+            "attempted": self.outcome.attempted,
+            "succeeded": self.outcome.succeeded,
+            "leaked_value": self.outcome.leaked_value,
+            "note": self.outcome.note,
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        outcome = state["outcome"]
+        self.outcome.name = outcome["name"]
+        self.outcome.attempted = outcome["attempted"]
+        self.outcome.succeeded = outcome["succeeded"]
+        self.outcome.leaked_value = outcome["leaked_value"]
+        self.outcome.note = outcome["note"]
+
     def dispatch_sbi(self, ctx: GuestContext, call: SbiCall) -> SbiRet:
         if call.eid == TRIGGER_EID and not self.outcome.attempted:
             self.outcome.attempted = True

@@ -301,6 +301,33 @@ class Machine:
             pass
         return self.halt_reason or "halted"
 
+    def boot_to(self, stop_pc: int, hart_index: int = 0,
+                entry: Optional[int] = None) -> bool:
+        """Run like :meth:`boot` until ``hart``'s pc first equals ``stop_pc``
+        *at the top-level dispatch loop*.
+
+        This is the machine's named-phase boundary: the moment before a
+        top-level dispatch the Python call stack holds no suspended guest
+        frames, so the architectural state is quiescent and a
+        :mod:`repro.snapshot` checkpoint taken here is complete.  Returns
+        True when the phase was reached, False when the machine halted
+        first (the caller reads ``halt_reason``).
+        """
+        hart = self.harts[hart_index]
+        if entry is not None:
+            hart.state.pc = entry
+        try:
+            while not self.halted:
+                if hart.state.pc == stop_pc:
+                    return True
+                try:
+                    self.dispatch_current(hart)
+                except FirmwareRecovered:
+                    continue
+        except MachineHalted:
+            pass
+        return False
+
     # -- idle / interrupt servicing ----------------------------------------
 
     def advance_until_interrupt(self, hart: Hart) -> None:

@@ -34,19 +34,46 @@ class Device(Protocol):
 
 
 class Ram:
-    """Sparse byte-addressable RAM; pages are allocated on first touch."""
+    """Sparse byte-addressable RAM; pages are allocated on first touch.
+
+    Pages participate in copy-on-write snapshots: :meth:`snapshot_pages`
+    freezes the current pages and hands out *references* (no copying), and
+    the first write to a frozen page clones it.  A snapshot therefore costs
+    O(pages touched) bookkeeping at capture time and O(pages written)
+    copies afterwards — cheap enough for the watchdog to take one per
+    firmware activation.  The sparse page dict doubles as the delta
+    encoding: a page absent from the dict (or all zero) equals the
+    all-zeros base image, so a snapshot *is* the set of page deltas.
+    """
 
     def __init__(self, base: int, size: int):
         self.base = base
         self.size = size
         self._pages: dict[int, bytearray] = {}
+        #: Page numbers shared with at least one live snapshot; writes
+        #: clone these before mutating (copy-on-write).
+        self._frozen: set[int] = set()
 
     def _page(self, address: int) -> tuple[bytearray, int]:
+        """Read path: allocate on first touch, never clone."""
         page_number = address >> _PAGE_SHIFT
         page = self._pages.get(page_number)
         if page is None:
             page = bytearray(_PAGE_SIZE)
             self._pages[page_number] = page
+        return page, address & (_PAGE_SIZE - 1)
+
+    def _writable_page(self, address: int) -> tuple[bytearray, int]:
+        """Write path: clone a frozen page before handing it out."""
+        page_number = address >> _PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_number] = page
+        elif page_number in self._frozen:
+            page = bytearray(page)
+            self._pages[page_number] = page
+            self._frozen.discard(page_number)
         return page, address & (_PAGE_SIZE - 1)
 
     def read(self, address: int, size: int) -> int:
@@ -62,18 +89,66 @@ class Ram:
         end = address + size
         data = value.to_bytes(size, "little")
         if (address >> _PAGE_SHIFT) == ((end - 1) >> _PAGE_SHIFT):
-            page, offset = self._page(address)
+            page, offset = self._writable_page(address)
             page[offset:offset + size] = data
             return
         for i, byte in enumerate(data):
-            page, offset = self._page(address + i)
+            page, offset = self._writable_page(address + i)
             page[offset] = byte
 
     def load_image(self, address: int, image: bytes) -> None:
         """Copy a binary image into RAM."""
         for i, byte in enumerate(image):
-            page, offset = self._page(address + i)
+            page, offset = self._writable_page(address + i)
             page[offset] = byte
+
+    # -- copy-on-write snapshots ----------------------------------------
+
+    def _page_span(self, start: int | None, stop: int | None) -> tuple[int, int]:
+        lo = self.base if start is None else start
+        hi = self.base + self.size if stop is None else stop
+        return lo >> _PAGE_SHIFT, (hi - 1) >> _PAGE_SHIFT
+
+    def snapshot_pages(self, start: int | None = None,
+                       stop: int | None = None) -> dict[int, bytearray]:
+        """Freeze and return the page deltas in ``[start, stop)``.
+
+        Pages that are all zero are dropped (from the snapshot *and* the
+        live dict): a touched-but-unwritten page equals the base image,
+        so keeping it would make snapshot digests depend on read access
+        patterns.  The returned dict shares page storage with the Ram —
+        both sides clone on their next write, so the snapshot is immune
+        to later mutation.
+        """
+        first, last = self._page_span(start, stop)
+        zero = [number for number, page in self._pages.items()
+                if first <= number <= last and not any(page)]
+        for number in zero:
+            del self._pages[number]
+            self._frozen.discard(number)
+        taken: dict[int, bytearray] = {}
+        for number, page in self._pages.items():
+            if first <= number <= last:
+                taken[number] = page
+                self._frozen.add(number)
+        return taken
+
+    def restore_pages(self, pages: dict[int, bytearray],
+                      start: int | None = None,
+                      stop: int | None = None) -> None:
+        """Replace the pages in ``[start, stop)`` with a snapshot's.
+
+        Pages created after the snapshot vanish; restored pages are
+        re-frozen so the same snapshot can be restored again later.
+        """
+        first, last = self._page_span(start, stop)
+        stale = [number for number in self._pages if first <= number <= last]
+        for number in stale:
+            del self._pages[number]
+            self._frozen.discard(number)
+        for number, page in pages.items():
+            self._pages[number] = page
+            self._frozen.add(number)
 
 
 class SystemBus:

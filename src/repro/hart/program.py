@@ -114,6 +114,22 @@ class GuestProgram:
             raise ValueError(f"entry {address:#x} outside {self.region}")
         self._extra_entries[address] = handler
 
+    # -- checkpoint hooks (see :mod:`repro.snapshot`) --------------------
+
+    def snapshot_state(self) -> dict:
+        """Model-level state a checkpoint must carry for this program.
+
+        Guest programs are Python objects, so besides the architectural
+        state (registers, CSRs, RAM — captured by the machine layers)
+        they hold *model* state: counters, protocol progress, logs.
+        Subclasses override both hooks to round-trip it; the values must
+        survive :func:`repro.snapshot.checkpoint._to_jsonable`.
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Invert :meth:`snapshot_state` (no-op by default)."""
+
     def dispatch(self, machine: "Machine", hart: "Hart") -> None:
         ctx = GuestContext(machine, hart, self)
         pc = hart.state.pc

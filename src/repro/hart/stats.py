@@ -146,6 +146,50 @@ class TrapStats:
         """The most recently recorded trap (also kept when events aren't)."""
         return self._last
 
+    # -- epochs (watchdog restore / checkpoint rewind) --------------------
+
+    def mark_epoch(self) -> dict:
+        """Freeze the counter state at a restore point.
+
+        The watchdog marks an epoch when it arms an activation; if the
+        activation fails and its architectural state is rolled back,
+        :meth:`rewind_to_epoch` rolls the *metrics* back too — otherwise
+        every retried activation double-counts its traps and the reported
+        histograms describe executions that were abandoned.
+        """
+        return {
+            "events_len": len(self.events),
+            "trap_counts": dict(self.trap_counts),
+            "handler_counts": dict(self.handler_counts),
+            "world_switches": self.world_switches,
+            "firmware_emulations": self.firmware_emulations,
+            "fastpath_hits": self.fastpath_hits,
+            "total_traps": self.total_traps,
+        }
+
+    def rewind_to_epoch(self, epoch: dict) -> None:
+        """Truncate events and restore counters to a marked epoch.
+
+        ``recovery_counts`` is deliberately *not* rewound: recovery
+        decisions are facts about the run (they happened, and they are
+        counted before the rollback), not state of the abandoned
+        activation.
+        """
+        del self.events[epoch["events_len"]:]
+        self.trap_counts = Counter(epoch["trap_counts"])
+        self.handler_counts = Counter(epoch["handler_counts"])
+        self.world_switches = epoch["world_switches"]
+        self.firmware_emulations = epoch["firmware_emulations"]
+        self.fastpath_hits = epoch["fastpath_hits"]
+        self.total_traps = epoch["total_traps"]
+        # Last-trap pointers into truncated events would dangle; rebuild
+        # from what survives (annotate_last on a missing event is a no-op).
+        self._last = self.events[-1] if self.events else None
+        self._last_by_hart = {}
+        self._injected_by_hart = {}
+        for event in self.events:
+            self._last_by_hart[event.hart] = event
+
     # -- analysis helpers ------------------------------------------------
 
     def events_by_window(self, window_mtime: int) -> dict[int, Counter]:

@@ -65,6 +65,34 @@ class KernelProgram(GuestProgram):
     def secondary_entry(self) -> int:
         return self.region.base + SECONDARY_ENTRY_OFFSET
 
+    # -- checkpoint hooks ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "timer_ticks": self.timer_ticks,
+            "software_interrupts": self.software_interrupts,
+            "external_interrupts": self.external_interrupts,
+            "ticks_by_hart": Counter(self.ticks_by_hart),
+            "ssi_by_hart": Counter(self.ssi_by_hart),
+            "ipi_pong_target": self.ipi_pong_target,
+            "unexpected_traps": list(self.unexpected_traps),
+            "sbi_impl_id": self.sbi_impl_id,
+            "extensions": dict(self.extensions),
+            "booted_harts": list(self.booted_harts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.timer_ticks = state["timer_ticks"]
+        self.software_interrupts = state["software_interrupts"]
+        self.external_interrupts = state["external_interrupts"]
+        self.ticks_by_hart = Counter(state["ticks_by_hart"])
+        self.ssi_by_hart = Counter(state["ssi_by_hart"])
+        self.ipi_pong_target = state["ipi_pong_target"]
+        self.unexpected_traps[:] = state["unexpected_traps"]
+        self.sbi_impl_id = state["sbi_impl_id"]
+        self.extensions = dict(state["extensions"])
+        self.booted_harts[:] = state["booted_harts"]
+
     # -- SBI wrappers -----------------------------------------------------
 
     def sbi_call(self, ctx: GuestContext, eid: int, fid: int, *args: int):

@@ -1,0 +1,96 @@
+"""Content-addressed on-disk checkpoint store.
+
+A checkpoint is saved as ``cp-<digest16>.json`` where ``digest16`` is the
+first 16 hex digits of its canonical digest: the filename *is* the
+identity, saving the same state twice writes one file, and a corrupted
+file is detected on load because the recomputed digest no longer matches
+its name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.snapshot.checkpoint import Checkpoint, SnapshotError
+
+
+def checkpoint_filename(checkpoint: Checkpoint) -> str:
+    return f"cp-{checkpoint.digest()[:16]}.json"
+
+
+def save_checkpoint(checkpoint: Checkpoint,
+                    directory: Union[str, Path]) -> Path:
+    """Write a checkpoint to ``directory``; returns the file path.
+
+    Content-addressed: an existing file with the same name is trusted to
+    hold the same content (the name commits to the digest) and left
+    untouched.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / checkpoint_filename(checkpoint)
+    if not path.exists():
+        encoded = json.dumps(checkpoint.doc(), sort_keys=True, indent=1)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(encoded + "\n")
+        tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Load and verify a checkpoint file."""
+    path = Path(path)
+    checkpoint = Checkpoint.from_doc(json.loads(path.read_text()))
+    stem = path.name
+    if stem.startswith("cp-") and stem.endswith(".json"):
+        expected = stem[len("cp-"):-len(".json")]
+        if checkpoint.digest()[:16] != expected:
+            raise SnapshotError(
+                f"checkpoint {path} does not match its content address")
+    return checkpoint
+
+
+def _flatten(doc, prefix: str, out: dict) -> None:
+    if isinstance(doc, dict):
+        if len(doc) == 1 and next(iter(doc)).startswith("~"):
+            out[prefix] = doc  # tagged leaf: compare atomically
+            return
+        for key in doc:
+            _flatten(doc[key], f"{prefix}.{key}" if prefix else str(key), out)
+        return
+    if isinstance(doc, list):
+        for index, item in enumerate(doc):
+            _flatten(item, f"{prefix}[{index}]", out)
+        return
+    out[prefix] = doc
+
+
+def diff_checkpoints(a: Checkpoint, b: Checkpoint,
+                     limit: int = 200) -> list[dict]:
+    """Path-labelled differences between two checkpoints' documents.
+
+    Returns at most ``limit`` entries of ``{"path", "a", "b"}`` where a
+    missing side is reported as ``None`` under the ``"missing"`` key
+    convention (the value itself may legitimately be None, so presence is
+    flagged explicitly).
+    """
+    flat_a: dict = {}
+    flat_b: dict = {}
+    _flatten(a.doc(), "", flat_a)
+    _flatten(b.doc(), "", flat_b)
+    differences = []
+    for path in sorted(set(flat_a) | set(flat_b)):
+        in_a, in_b = path in flat_a, path in flat_b
+        if in_a and in_b and flat_a[path] == flat_b[path]:
+            continue
+        differences.append({
+            "path": path,
+            "a": flat_a.get(path),
+            "b": flat_b.get(path),
+            "missing": "b" if not in_b else ("a" if not in_a else None),
+        })
+        if len(differences) >= limit:
+            break
+    return differences

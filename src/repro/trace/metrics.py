@@ -38,6 +38,15 @@ class LatencyHistogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def clone(self) -> "LatencyHistogram":
+        other = LatencyHistogram()
+        other.count = self.count
+        other.total = self.total
+        other.min = self.min
+        other.max = self.max
+        other.buckets = Counter(self.buckets)
+        return other
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -76,6 +85,29 @@ class MetricsRegistry:
 
     def set_gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
+
+    # -- epochs (watchdog restore / checkpoint rewind) --------------------
+
+    def mark_epoch(self) -> dict:
+        """Deep-copy the registry state at a restore point.
+
+        Histograms cannot be rewound by subtraction (min/max are not
+        invertible), so an epoch is a full copy — they are small (a
+        dozen integers per cause) and epochs are only marked per
+        firmware activation when tracing is enabled at all.
+        """
+        return {
+            "trap_latency": {cause: histogram.clone()
+                             for cause, histogram in self.trap_latency.items()},
+            "handlers": Counter(self._handlers),
+            "gauges": dict(self.gauges),
+        }
+
+    def rewind_to_epoch(self, epoch: dict) -> None:
+        self.trap_latency = {cause: histogram.clone()
+                             for cause, histogram in epoch["trap_latency"].items()}
+        self._handlers = Counter(epoch["handlers"])
+        self.gauges = dict(epoch["gauges"])
 
     def snapshot(self) -> dict:
         return {

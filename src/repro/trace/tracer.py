@@ -277,3 +277,65 @@ class Tracer:
         """Snapshot the last-N events leading up to a quarantine."""
         count = QUARANTINE_TAIL if tail is None else tail
         self.quarantine_dumps.append((reason, tuple(self.tail(count))))
+
+    # -- epochs (watchdog restore / checkpoint rewind) --------------------
+
+    def mark_epoch(self) -> dict:
+        """Freeze the flight recorder and histograms at a restore point.
+
+        Paired with :meth:`rewind_to_epoch` by the watchdog (and the
+        checkpoint layer): when an activation's architectural state is
+        rolled back, its trace events and latency observations are rolled
+        back with it, keeping ``trap_causes`` equal to the (also rewound)
+        ``TrapStats.trap_counts``.
+        """
+        _ = self.trap_causes      # fold pending causes
+        self._flush_metrics()     # fold pending latency observations
+        return {
+            "seq": self._seq,
+            "counts": dict(self._counts),
+            "n_exit": self._n_exit,
+            "n_fastpath": self._n_fastpath,
+            "causes": dict(self._causes),
+            "metrics": self._metrics.mark_epoch(),
+            "open": dict(self._open),
+        }
+
+    #: Event kinds that survive an epoch rewind: these record *decisions*
+    #: whose own counters are never rolled back (the injector's committed
+    #: injections, the watchdog's recover/retry/quarantine transitions,
+    #: policy violations).  Dropping them would desynchronize the trace
+    #: from those counters; everything else — trap entries/exits,
+    #: world switches, emulation steps — is state of the abandoned
+    #: activation and is rewound.
+    PRESERVED_KINDS = frozenset({"fault-inject", "watchdog", "violation"})
+
+    def rewind_to_epoch(self, epoch: dict) -> None:
+        """Drop events and observations recorded after a marked epoch.
+
+        ``quarantine_dumps`` is deliberately untouched: like recovery
+        counts, a quarantine record is a fact about the run, not state of
+        the abandoned activation.
+        """
+        ring = self.ring
+        seq = epoch["seq"]
+        kept: list[tuple] = []
+        while ring and ring[-1][0] >= seq:
+            record = ring.pop()
+            if record[1] in self.PRESERVED_KINDS:
+                kept.append(record)
+        kept.reverse()
+        self._counts = Counter(epoch["counts"])
+        for record in kept:
+            ring.append(record)
+            self._counts[record[1]] += 1
+        # Preserved events keep their sequence numbers, so the clock only
+        # rewinds to just past the last survivor (seq stays monotonic).
+        self._seq = kept[-1][0] + 1 if kept else seq
+        self._n_exit = epoch["n_exit"]
+        self._n_fastpath = epoch["n_fastpath"]
+        self._pending_causes.clear()
+        self._causes = Counter(epoch["causes"])
+        self._pending_metrics.clear()
+        self._metrics.rewind_to_epoch(epoch["metrics"])
+        self._open = dict(epoch["open"])

@@ -21,6 +21,9 @@ closes that loop:
   minimizes a bundle's fault plan or fuzz input to a 1-minimal repro,
   re-running candidates through the campaign pool with per-candidate
   timeouts.
+* :mod:`repro.triage.bisect` — binary search over step prefixes of a
+  fuzz input, pinning the first diverging step in O(log n) replays
+  (``repro replay BUNDLE --bisect``).
 * :mod:`repro.triage.dedup` — signature-based grouping so a 1000-cell
   campaign reports "3 distinct failures × N occurrences" instead of N
   raw failures.
@@ -30,6 +33,7 @@ Surfaced as ``repro replay BUNDLE`` and ``repro shrink BUNDLE``, plus
 ``campaign``.
 """
 
+from repro.triage.bisect import BisectResult, bisect_divergence
 from repro.triage.bundle import (
     BUNDLE_SCHEMA,
     bundle_from_chaos,
@@ -50,7 +54,9 @@ from repro.triage.signature import (
 
 __all__ = [
     "BUNDLE_SCHEMA",
+    "BisectResult",
     "ReplayResult",
+    "bisect_divergence",
     "SIGNATURE_ALGO",
     "ShrinkOutcome",
     "bundle_from_chaos",

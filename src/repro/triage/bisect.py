@@ -1,0 +1,153 @@
+"""Divergence bisection: locate the step that makes a fuzz bundle fail.
+
+A fuzz repro bundle names a whole input — dozens of decoded
+``(action, operand)`` steps.  The delta-debugging shrinker minimizes the
+*set* of steps, but its candidate count is linear-to-quadratic in the
+input length.  For the common case — the divergence appears once some
+prefix of the input has executed and never un-appears — a binary search
+over prefixes pins the first diverging step in ``O(log n)`` probes
+instead of a linear scan, each probe being one deterministic replay of a
+step prefix.
+
+The monotonicity assumption (``diverges(steps[:k])`` implies
+``diverges(steps[:k+1])``) is *checked at the boundary*, not trusted:
+the search only reports a first diverging step after probing that the
+prefix one step shorter is clean, so a non-monotonic input can at worst
+report a valid diverging prefix that is not globally minimal — never a
+clean one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.triage.bundle import validate_bundle
+
+
+@dataclasses.dataclass
+class BisectResult:
+    """Outcome of one prefix bisection."""
+
+    reproduced: bool
+    #: Length of the minimal diverging prefix (None when the full input
+    #: no longer reproduces).
+    prefix_len: Optional[int]
+    total_steps: int
+    #: Number of replay probes spent — the O(log n) figure of merit.
+    probes: int
+    #: The minimal diverging prefix itself, canonical step encoding.
+    steps: list
+    #: The step the bisection blames: the last step of the minimal
+    #: prefix (None when the empty prefix already diverges — the bug is
+    #: in the boot, not the input).
+    culprit: Optional[list]
+
+    def report(self) -> str:
+        if not self.reproduced:
+            return (f"bisect: full input ({self.total_steps} step(s)) "
+                    f"does not reproduce — nothing to bisect")
+        lines = [
+            f"bisect: diverges at prefix {self.prefix_len}"
+            f"/{self.total_steps} after {self.probes} probe(s)",
+        ]
+        if self.culprit is None:
+            lines.append("culprit: none — the empty input already "
+                         "diverges (boot-path bug)")
+        else:
+            action, operand = self.culprit
+            lines.append(f"culprit: step {self.prefix_len - 1}: "
+                         f"{action} {operand:#x}")
+        return "\n".join(lines)
+
+
+def _fuzz_steps(bundle: dict) -> list:
+    """The bundle's decoded input, from explicit steps or its seed."""
+    workload = bundle.get("workload", {})
+    steps = workload.get("steps")
+    if steps:
+        return [[action, operand] for action, operand in steps]
+    from repro.spec.platform import PLATFORMS
+    from repro.verif.fuzz import Scenario, canonical_steps
+
+    config = bundle["config"]
+    decoded = canonical_steps(Scenario(
+        seed=bundle.get("seeds", {}).get("seed", 0),
+        length=config.get("length", 40),
+        platform=PLATFORMS[config["platform"]],
+    ).actions())
+    return [[action, operand] for action, operand in decoded]
+
+
+def _fuzz_probe(bundle: dict) -> Callable[[list], bool]:
+    from repro.spec.platform import PLATFORMS
+    from repro.verif.fuzz import fuzz_scenario
+
+    config = bundle["config"]
+    seed = bundle.get("seeds", {}).get("seed", 0)
+
+    def probe(prefix: list) -> bool:
+        finding = fuzz_scenario(
+            seed,
+            length=config.get("length", 40),
+            platform=PLATFORMS[config["platform"]],
+            offload=config.get("offload", True),
+            steps=[(action, operand) for action, operand in prefix],
+        )
+        return finding is not None
+
+    return probe
+
+
+def bisect_divergence(bundle: dict,
+                      probe: Optional[Callable[[list], bool]] = None,
+                      ) -> BisectResult:
+    """Binary-search the minimal diverging prefix of a fuzz bundle.
+
+    ``probe(prefix_steps) -> bool`` replays a prefix and reports whether
+    the divergence fires; the default replays through
+    :func:`repro.verif.fuzz.fuzz_scenario`.  Raises :class:`ValueError`
+    for bundle kinds without a prefix structure to search.
+    """
+    validate_bundle(bundle)
+    if bundle["kind"] != "fuzz":
+        raise ValueError(
+            f"bisect supports fuzz bundles, not {bundle['kind']!r}"
+        )
+    steps = _fuzz_steps(bundle)
+    if probe is None:
+        probe = _fuzz_probe(bundle)
+
+    outcomes: dict[int, bool] = {}
+
+    def diverges(k: int) -> bool:
+        if k not in outcomes:
+            outcomes[k] = probe(steps[:k])
+        return outcomes[k]
+
+    total = len(steps)
+    if not diverges(total):
+        return BisectResult(reproduced=False, prefix_len=None,
+                            total_steps=total, probes=len(outcomes),
+                            steps=[], culprit=None)
+    lo, hi = 0, total
+    if diverges(0):
+        hi = 0
+    else:
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if diverges(mid):
+                hi = mid
+            else:
+                lo = mid
+    # The boundary is verified by construction: hi diverges, and either
+    # hi == 0 or hi-1 == lo was probed clean.
+    prefix = steps[:hi]
+    return BisectResult(
+        reproduced=True,
+        prefix_len=hi,
+        total_steps=total,
+        probes=len(outcomes),
+        steps=prefix,
+        culprit=prefix[-1] if prefix else None,
+    )

@@ -1,0 +1,91 @@
+"""Coverage fold-back idempotence (S3 of the snapshot PR).
+
+A corpus entry's coverage can reach an aggregate map along several
+routes: the guided fuzzer's replay pass, a second guided run over the
+same corpus, and every covfuzz campaign cell that replays the shared
+corpus before mutating.  The bitmap and path set union idempotently by
+construction, but ``records`` was a plain sum — every re-fold of the
+same entry inflated it, so merged reports counted the same traps once
+per cell.  Folds are now attributed to a source digest and deduplicated.
+"""
+
+from repro.coverage import Corpus, CoverageMap, run_guided_fuzz
+from repro.coverage.corpus import steps_digest
+from repro.verif.fuzz import Scenario, canonical_steps
+
+STEPS = canonical_steps(Scenario(seed=7, length=4).actions())
+
+
+def _case_map(marker: int = 0) -> CoverageMap:
+    cov = CoverageMap()
+    cov.begin_run()
+    cov.record(0, 8, False, 0x8000_0000 + marker * 16, None)
+    cov.record(0, 9, False, 0x8000_0100, None)
+    return cov
+
+
+class TestSourcedAbsorb:
+    def test_absorbing_same_source_twice_is_idempotent(self):
+        aggregate = CoverageMap()
+        source = steps_digest(STEPS)
+        aggregate.absorb(_case_map(), source=source)
+        records = aggregate.records
+        new_bits, new_paths = aggregate.absorb(_case_map(), source=source)
+        assert (new_bits, new_paths) == (0, 0)
+        assert aggregate.records == records
+
+    def test_unsourced_absorb_still_accumulates(self):
+        aggregate = CoverageMap()
+        aggregate.absorb(_case_map())
+        aggregate.absorb(_case_map())
+        assert aggregate.records == 4
+
+    def test_union_dedupes_shared_sources(self):
+        # Two campaign cells each replayed the same corpus entry before
+        # mutating: the shared source must be counted once in the merge.
+        source = steps_digest(STEPS)
+        cell_a, cell_b = CoverageMap(), CoverageMap()
+        cell_a.absorb(_case_map(), source=source)
+        cell_b.absorb(_case_map(), source=source)
+        cell_a.absorb(_case_map(1), source="other-" + source)
+        merged = CoverageMap()
+        merged.union(cell_a)
+        merged.union(cell_b)
+        assert merged.records == cell_a.records
+        assert merged.records == 4
+
+    def test_sources_round_trip_through_doc(self):
+        source = steps_digest(STEPS)
+        cov = CoverageMap()
+        cov.absorb(_case_map(), source=source)
+        cov.absorb(_case_map(1))
+        restored = CoverageMap.from_doc(cov.to_doc())
+        assert restored.records == cov.records
+        assert restored.digest() == cov.digest()
+        # The restored map still refuses to re-fold the same source.
+        assert restored.absorb(_case_map(), source=source) == (0, 0)
+        assert restored.records == cov.records
+
+    def test_unsourced_doc_back_compat(self):
+        cov = CoverageMap()
+        cov.absorb(_case_map())
+        doc = cov.to_doc()
+        assert "sources" not in doc
+        restored = CoverageMap.from_doc(doc)
+        assert restored.records == 2
+
+
+class TestGuidedFoldIdempotence:
+    def test_second_guided_run_does_not_inflate_records(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        corpus.add(STEPS, origin="seed")
+        first = run_guided_fuzz(corpus, seed=3, cases=4, length=4)
+        # Replaying the grown corpus again attributes every entry by
+        # digest; a mutation that reproduces a kept entry folds to zero.
+        second = run_guided_fuzz(corpus, seed=3, cases=0, length=4)
+        replay_records = second.coverage.records
+        third = run_guided_fuzz(corpus, seed=3, cases=0, length=4)
+        assert third.coverage.records == replay_records
+        assert first.coverage.records >= replay_records
+        for digest in corpus.digests():
+            assert digest in second.coverage.source_records

@@ -1,0 +1,200 @@
+"""Checkpoint digest determinism (S4), alias safety, the on-disk store,
+and warm-start equivalence.
+
+The determinism pins: ``Checkpoint.digest()`` is a pure function of the
+architectural state.  Two independent boots of the same configuration
+hash byte-identically — at 1, 2, and 4 harts — and a
+capture→restore→capture round-trip through a *fresh* machine reproduces
+the digest exactly.  Warm-started chaos runs (restored from a cached
+kernel-entry checkpoint) produce results byte-identical to cold runs of
+the same cell, which is what lets ``--warm-start`` stay out of campaign
+cell keys.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults.chaos import MAX_DISPATCHES, _build_sbi_system, run_chaos
+from repro.snapshot import (
+    Checkpoint,
+    SnapshotError,
+    capture,
+    diff_checkpoints,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+)
+from repro.spec.platform import VISIONFIVE2
+
+
+def _boot_system(platform=VISIONFIVE2, firmware="opensbi"):
+    system, _ = _build_sbi_system(platform, firmware)
+    machine = system.machine
+    machine.max_dispatches = MAX_DISPATCHES
+    reached = machine.boot_to(system.kernel.entry_point,
+                              entry=system.miralis.region.base)
+    assert reached, f"halted before kernel entry: {machine.halt_reason!r}"
+    return system
+
+
+def _boot_checkpoint(platform=VISIONFIVE2, firmware="opensbi"):
+    system = _boot_system(platform, firmware)
+    return capture(system.machine, phase="kernel-entry")
+
+
+class TestDigestDeterminism:
+    """S4: the digest is timing-free and boot-order-free."""
+
+    def test_independent_boots_hash_identically(self):
+        assert _boot_checkpoint().digest() == _boot_checkpoint().digest()
+
+    @pytest.mark.parametrize("harts", [1, 2, 4])
+    def test_pinned_across_hart_counts(self, harts):
+        platform = dataclasses.replace(VISIONFIVE2, num_harts=harts)
+        a = _boot_checkpoint(platform)
+        b = _boot_checkpoint(platform)
+        assert a.state["num_harts"] == harts
+        assert a.digest() == b.digest()
+
+    def test_hart_count_is_part_of_the_digest(self):
+        digests = {
+            _boot_checkpoint(
+                dataclasses.replace(VISIONFIVE2, num_harts=harts)).digest()
+            for harts in (1, 2, 4)
+        }
+        assert len(digests) == 3
+
+    def test_firmwares_hash_differently_but_stably(self):
+        a = _boot_checkpoint(firmware="rustsbi")
+        b = _boot_checkpoint(firmware="rustsbi")
+        assert a.digest() == b.digest()
+        assert a.digest() != _boot_checkpoint(firmware="opensbi").digest()
+
+    def test_doc_survives_a_json_round_trip(self):
+        checkpoint = _boot_checkpoint()
+        doc = json.loads(json.dumps(checkpoint.doc()))
+        assert Checkpoint.from_doc(doc).digest() == checkpoint.digest()
+
+    def test_restore_into_fresh_machine_reproduces_digest(self):
+        checkpoint = _boot_checkpoint()
+        system, _ = _build_sbi_system(VISIONFIVE2, "opensbi")
+        restore(system.machine, checkpoint)
+        recaptured = capture(system.machine, phase=checkpoint.phase)
+        assert recaptured.digest() == checkpoint.digest()
+
+
+class TestAliasSafety:
+    def test_running_on_does_not_mutate_the_checkpoint(self):
+        system = _boot_system()
+        machine = system.machine
+        checkpoint = capture(machine, phase="kernel-entry")
+        digest = checkpoint.digest()
+        # Scribble on checkpointed RAM and run the machine to completion:
+        # the checkpoint's COW pages must not see any of it.
+        machine.ram.write(system.firmware.region.base + 0x8000, 8, 0xDEAD)
+        machine.boot()
+        assert checkpoint.digest() == digest
+
+    def test_one_checkpoint_seeds_many_identical_restores(self):
+        checkpoint = _boot_checkpoint()
+        digest = checkpoint.digest()
+        for _ in range(2):
+            system, _ = _build_sbi_system(VISIONFIVE2, "opensbi")
+            machine = system.machine
+            restore(machine, checkpoint)
+            assert capture(machine, phase="kernel-entry").digest() == digest
+            # Run this consumer to the end; the next restore must not
+            # observe the first consumer's execution through shared pages.
+            machine.max_dispatches = MAX_DISPATCHES
+            machine.boot()
+
+    def test_restore_rejects_wrong_hart_count(self):
+        checkpoint = _boot_checkpoint(
+            dataclasses.replace(VISIONFIVE2, num_harts=2))
+        system, _ = _build_sbi_system(VISIONFIVE2, "opensbi")
+        with pytest.raises(SnapshotError, match="harts"):
+            restore(system.machine, checkpoint)
+
+
+class TestStore:
+    def test_save_load_round_trip(self, tmp_path):
+        checkpoint = _boot_checkpoint()
+        path = save_checkpoint(checkpoint, tmp_path)
+        assert checkpoint.digest()[:16] in path.name
+        loaded = load_checkpoint(path)
+        assert loaded.digest() == checkpoint.digest()
+
+    def test_corruption_is_detected_on_load(self, tmp_path):
+        checkpoint = _boot_checkpoint()
+        path = save_checkpoint(checkpoint, tmp_path)
+        doc = json.loads(path.read_text())
+        doc["state"]["machine"]["cycles"] += 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SnapshotError):
+            load_checkpoint(path)
+
+    def test_diff_labels_the_changed_paths(self):
+        a = _boot_checkpoint(firmware="opensbi")
+        b = _boot_checkpoint(firmware="opensbi")
+        assert diff_checkpoints(a, b) == []
+        c = _boot_checkpoint(firmware="rustsbi")
+        paths = {entry["path"] for entry in diff_checkpoints(a, c)}
+        assert any(path.startswith("ram.pages.") for path in paths)
+        assert "state.devices.uart.output" in paths
+
+
+class TestWarmColdEquivalence:
+    """A warm-started run is byte-identical to the cold phased run."""
+
+    COMPARED = ("halt_reason", "checkpoint", "quarantined", "recoveries",
+                "hart_recoveries", "stat_recoveries", "stat_hart_recoveries",
+                "injections", "injection_log", "quarantine_log", "trap_log",
+                "trap_log_total", "console", "error")
+
+    def _compare(self, firmware, plan, seed):
+        cold = run_chaos(firmware, plan=plan, seed=seed,
+                         phase="kernel-entry", warm_start=False)
+        warm = run_chaos(firmware, plan=plan, seed=seed,
+                         phase="kernel-entry", warm_start=True)
+        for field in self.COMPARED:
+            assert getattr(warm, field) == getattr(cold, field), field
+
+    @pytest.mark.parametrize("plan", ["none", "csr-chaos", "transient-mmio"])
+    def test_opensbi_plans(self, plan):
+        self._compare("opensbi", plan, seed=3)
+
+    def test_rustsbi(self):
+        self._compare("rustsbi", "csr-chaos", seed=5)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError, match="phase"):
+            run_chaos("opensbi", plan="none", seed=0, phase="mid-boot")
+        with pytest.raises(ValueError):
+            run_chaos("opensbi", plan="none", seed=0, warm_start=True)
+        with pytest.raises(ValueError):
+            run_chaos("zephyr", plan="none", seed=0, phase="kernel-entry")
+
+
+class TestCampaignWarmStart:
+    def test_warm_and_cold_aggregates_are_byte_identical(self):
+        from repro.campaign import (
+            canonical_json,
+            chaos_cells,
+            merge_campaign,
+            run_campaign,
+        )
+
+        kwargs = dict(firmwares=("opensbi",), plans=("none", "csr-chaos"),
+                      seeds=(0, 1), phase="kernel-entry")
+        cold = chaos_cells(warm_start=False, **kwargs)
+        warm = chaos_cells(warm_start=True, **kwargs)
+        # warm_start is an execution strategy, not an identity: keys match.
+        assert [cell.key for cell in cold] == [cell.key for cell in warm]
+
+        cold_doc = canonical_json(merge_campaign(
+            run_campaign(cold, workers=1, timeout=120.0)))
+        warm_doc = canonical_json(merge_campaign(
+            run_campaign(warm, workers=1, timeout=120.0)))
+        assert warm_doc == cold_doc

@@ -1,0 +1,124 @@
+"""Prefix bisection: O(log n) probes, verified boundary.
+
+Algorithm-level properties run against a synthetic probe (no simulation);
+the integration test plants a deterministic fast-path divergence and
+bisects a *real* fuzz bundle through ``fuzz_scenario`` replays.
+"""
+
+import math
+
+import pytest
+
+from repro.triage.bisect import bisect_divergence
+from repro.triage.bundle import BUNDLE_SCHEMA
+from repro.triage.signature import signature_from_material
+
+
+def _synthetic_bundle(length=40):
+    return {
+        "schema": BUNDLE_SCHEMA, "kind": "fuzz", "source": "test",
+        "config": {"platform": "visionfive2", "length": length,
+                   "offload": True},
+        "seeds": {"seed": 0},
+        "workload": {"steps": [["compute", index] for index in range(length)],
+                     "explicit_steps": True},
+        "failure": {},
+        "signature": signature_from_material({"kind": "fuzz",
+                                              "diff_fields": ["ssi"]}),
+    }
+
+
+class CountingProbe:
+    def __init__(self, diverges_at):
+        self.diverges_at = diverges_at
+        self.calls = 0
+
+    def __call__(self, prefix):
+        self.calls += 1
+        return len(prefix) >= self.diverges_at
+
+
+class TestBisectAlgorithm:
+    def test_finds_the_minimal_diverging_prefix(self):
+        bundle = _synthetic_bundle(40)
+        probe = CountingProbe(diverges_at=23)
+        result = bisect_divergence(bundle, probe=probe)
+        assert result.reproduced
+        assert result.prefix_len == 23
+        assert result.culprit == ["compute", 22]
+        assert len(result.steps) == 23
+
+    def test_probe_count_is_logarithmic(self):
+        length = 256
+        bundle = _synthetic_bundle(length)
+        probe = CountingProbe(diverges_at=200)
+        result = bisect_divergence(bundle, probe=probe)
+        assert result.prefix_len == 200
+        # Full probe + empty probe + one per halving, memoized.
+        assert result.probes <= math.ceil(math.log2(length)) + 2
+        assert probe.calls == result.probes
+
+    def test_empty_prefix_divergence_blames_the_boot(self):
+        result = bisect_divergence(_synthetic_bundle(8),
+                                   probe=CountingProbe(diverges_at=0))
+        assert result.reproduced
+        assert result.prefix_len == 0
+        assert result.culprit is None
+        assert result.probes == 2  # full, then empty
+        assert "boot" in result.report()
+
+    def test_non_reproducing_bundle_is_reported_not_searched(self):
+        probe = CountingProbe(diverges_at=10 ** 9)
+        result = bisect_divergence(_synthetic_bundle(64), probe=probe)
+        assert not result.reproduced
+        assert result.prefix_len is None
+        assert probe.calls == 1  # only the full-input probe
+        assert "does not reproduce" in result.report()
+
+    def test_single_step_input(self):
+        result = bisect_divergence(_synthetic_bundle(1),
+                                   probe=CountingProbe(diverges_at=1))
+        assert result.prefix_len == 1
+        assert result.culprit == ["compute", 0]
+
+    def test_only_fuzz_bundles_are_bisectable(self):
+        bundle = _synthetic_bundle(4)
+        bundle["kind"] = "chaos"
+        with pytest.raises(ValueError, match="chaos"):
+            bisect_divergence(bundle)
+
+
+class TestBisectRealReplay:
+    def test_bisects_a_planted_fastpath_divergence(self, monkeypatch):
+        """End-to-end: a broken fast path makes real seeds diverge; the
+        default probe replays step prefixes and pins the culprit."""
+        from repro.core.offload import FastPath
+        from repro.sbi.types import SbiRet
+        from repro.triage.bundle import bundle_from_fuzz
+        from repro.verif.fuzz import fuzz_scenario
+
+        # Break a fast path the boot itself never takes (the boot does
+        # arm timers, so a broken set_timer would diverge at prefix 0):
+        # only an explicit send_ipi step reaches this.
+        def broken_send_ipi(self, hart, vctx, hart_mask, mask_base):
+            hart.charge(10)
+            return SbiRet.success(0xBAD)  # wrong: value must be 0
+
+        monkeypatch.setattr(FastPath, "_sbi_send_ipi", broken_send_ipi)
+
+        finding = next(
+            finding for seed in range(8)
+            if (finding := fuzz_scenario(seed, length=30)) is not None)
+        bundle = bundle_from_fuzz(finding, platform="visionfive2", length=30)
+
+        result = bisect_divergence(bundle)
+        assert result.reproduced
+        assert 0 < result.prefix_len <= result.total_steps
+        assert result.probes <= math.ceil(math.log2(result.total_steps)) + 2
+        # The boundary really is a boundary: the minimal prefix diverges,
+        # one step shorter does not.
+        probe = lambda steps: fuzz_scenario(
+            bundle["seeds"]["seed"], length=30,
+            steps=[tuple(step) for step in steps]) is not None
+        assert probe(result.steps)
+        assert not probe(result.steps[:-1])
