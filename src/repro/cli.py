@@ -75,20 +75,32 @@ def _finish_trace(args, tracer) -> None:
         print(f"trace written:    {args.trace}")
 
 
+def _block_cache_ctx(args):
+    """blocks_disabled() when --block-cache=off, else a no-op context."""
+    import contextlib
+
+    if getattr(args, "block_cache", "on") == "off":
+        from repro.hart.blocks import blocks_disabled
+
+        return blocks_disabled()
+    return contextlib.nullcontext()
+
+
 def command_chaos(args: argparse.Namespace) -> int:
     from repro.faults import run_chaos
 
     tracer = _make_tracer(args)
-    result = run_chaos(
-        args.firmware,
-        plan=args.chaos_plan,
-        seed=args.chaos_seed,
-        platform=PLATFORMS[args.platform],
-        tracer=tracer,
-        harts=args.harts,
-        quantum=args.quantum,
-        smp_jitter=args.smp_jitter,
-    )
+    with _block_cache_ctx(args):
+        result = run_chaos(
+            args.firmware,
+            plan=args.chaos_plan,
+            seed=args.chaos_seed,
+            platform=PLATFORMS[args.platform],
+            tracer=tracer,
+            harts=args.harts,
+            quantum=args.quantum,
+            smp_jitter=args.smp_jitter,
+        )
     if result.console:
         print(result.console)
     print(result.report())
@@ -161,6 +173,8 @@ def command_boot(args: argparse.Namespace) -> int:
             platform, policy=policy, offload=not args.no_offload,
             **build_kwargs,
         )
+    if args.block_cache == "off":
+        system.machine.blocks = None
     tracer = _make_tracer(args)
     system.machine.tracer = tracer
     meter = StepMeter()
@@ -866,6 +880,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="cross-hart workload instead of the demo "
                            "workload (pair with --harts)")
+    boot.add_argument("--block-cache", choices=["on", "off"], default="on",
+                      help="basic-block execution engine for binary "
+                           "images: cache decoded straight-line runs and "
+                           "replay them without refetching (default on; "
+                           "'off' forces the reference single-step path)")
     boot.set_defaults(func=command_boot)
 
     attack = sub.add_parser("attack", help="run an adversarial firmware")

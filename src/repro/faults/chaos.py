@@ -236,7 +236,8 @@ def _warm_boot_checkpoint(platform: PlatformConfig, firmware: str):
     return cached
 
 
-def _arm_injector(system, injector: FaultInjector, tracer) -> None:
+def _arm_injector(system, injector: FaultInjector, tracer,
+                  coverage=None) -> None:
     """Attach tracer and injector to an already-booted system.
 
     Mirrors what a cold boot does implicitly: ``install_fault_injector``
@@ -247,6 +248,7 @@ def _arm_injector(system, injector: FaultInjector, tracer) -> None:
     """
     machine = system.machine
     machine.tracer = tracer
+    machine.coverage = coverage
     machine.install_fault_injector(injector)
     if injector is not None:
         for hartid, vctx in enumerate(system.miralis.vctx):
@@ -259,6 +261,7 @@ def _run_sbi_chaos(
     platform: PlatformConfig,
     firmware: str,
     tracer=None,
+    coverage=None,
     smp: bool = False,
     quantum: int = 50,
     smp_seed: int = 0,
@@ -278,6 +281,7 @@ def _run_sbi_chaos(
     machine.max_dispatches = MAX_DISPATCHES
     if phase is None:
         machine.tracer = tracer
+        machine.coverage = coverage
         machine.install_fault_injector(injector)
         if smp:
             reason = system.run_smp(
@@ -295,7 +299,7 @@ def _run_sbi_chaos(
         else:
             reached = machine.boot_to(system.kernel.entry_point,
                                       entry=system.miralis.region.base)
-        _arm_injector(system, injector, tracer)
+        _arm_injector(system, injector, tracer, coverage=coverage)
         reason = machine.boot() if reached else (
             machine.halt_reason or "halted"
         )
@@ -308,6 +312,7 @@ def _run_zephyr_chaos(
     injector: FaultInjector,
     platform: PlatformConfig,
     tracer=None,
+    coverage=None,
 ) -> tuple:
     """Boot the Zephyr RTOS in vM-mode under the watchdog.  There is no
     S-mode OS; the checkpoint is the RTOS test suite completing."""
@@ -331,6 +336,7 @@ def _run_zephyr_chaos(
     machine.register(miralis)
     machine.max_dispatches = MAX_DISPATCHES
     machine.tracer = tracer
+    machine.coverage = coverage
     machine.install_fault_injector(injector)
     reason = machine.boot(entry=miralis.region.base)
     result.checkpoint = zephyr.suite_passed() or "workload complete" in reason
@@ -343,6 +349,7 @@ def run_chaos(
     seed: int = 0,
     platform: PlatformConfig = VISIONFIVE2,
     tracer=None,
+    coverage=None,
     harts: Optional[int] = None,
     quantum: int = 50,
     smp_jitter: int = 0,
@@ -357,6 +364,10 @@ def run_chaos(
     ``seed``), so faults land on secondary harts too.  Zephyr runs have
     no S-mode OS to start secondaries, so ``harts`` only resizes the
     platform there.
+
+    ``tracer`` and ``coverage`` attach an optional Tracer / CoverageMap
+    to the machine for the run (both default to off, keeping hot-path
+    hooks at one branch).
 
     ``phase`` starts fault injection at a named boot phase (see
     :data:`CHAOS_PHASES`) instead of at reset; the boot up to the phase
@@ -402,12 +413,12 @@ def run_chaos(
         injector = FaultInjector(resolved, seed=seed)
         if firmware == "zephyr":
             machine, miralis, reason = _run_zephyr_chaos(
-                result, injector, platform, tracer=tracer
+                result, injector, platform, tracer=tracer, coverage=coverage
             )
         else:
             machine, miralis, reason = _run_sbi_chaos(
                 result, injector, platform, firmware, tracer=tracer,
-                smp=smp, quantum=quantum, smp_seed=seed,
+                coverage=coverage, smp=smp, quantum=quantum, smp_seed=seed,
                 smp_jitter=smp_jitter, phase=phase, warm=warm_start,
             )
         result.halt_reason = reason

@@ -1,6 +1,7 @@
 """Machine simulator: harts, memory, devices, and the dispatch engine."""
 
 from repro.hart.binary import BinaryProgram
+from repro.hart.blocks import BlockEngine, blocks_disabled
 from repro.hart.clint import Clint
 from repro.hart.cycles import (
     CycleModel,
@@ -28,6 +29,7 @@ from repro.hart.uart import Uart
 
 __all__ = [
     "BinaryProgram",
+    "BlockEngine",
     "Clint",
     "CycleModel",
     "GENERIC_CYCLES",
@@ -48,6 +50,7 @@ __all__ = [
     "TrapStats",
     "Uart",
     "VISIONFIVE2_CYCLES",
+    "blocks_disabled",
     "cause_name",
     "cycle_model_for",
     "cycles_to_mtime",

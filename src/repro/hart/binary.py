@@ -67,6 +67,15 @@ class BinaryProgram(GuestProgram):
             take_trap(hart.state,
                       Trap(c.TrapCause.INSTRUCTION_ACCESS_FAULT, tval=pc))
             return None
+        # The decode fault site is consulted on the raw word, *before*
+        # the lru-cached decoder sees it — a glitched fetch must fire
+        # even when this word was decoded (and cached) long ago.
+        injector = self.machine.fault_injector
+        if injector is not None and injector.flip_instruction(
+                hart.hartid, f"word:{word:#010x}"):
+            take_trap(hart.state,
+                      Trap(c.TrapCause.ILLEGAL_INSTRUCTION, tval=word))
+            return None
         try:
             return decode(word)
         except IllegalInstructionError:
@@ -77,14 +86,26 @@ class BinaryProgram(GuestProgram):
     def run_image(self, ctx: GuestContext) -> None:
         """Fetch/decode/execute until control leaves the region or ebreak."""
         hart = ctx.hart
-        for _ in range(self.MAX_STEPS):
+        engine = self.machine.blocks
+        budget = self.MAX_STEPS
+        while budget > 0:
             if self.machine.halted:
                 return
             if not self.region.contains(hart.state.pc):
                 return  # an xRET or jump transferred control elsewhere
+            if engine is not None:
+                # A cached straight-line run, if one starts here; 0 means
+                # single-step at least the next instruction.
+                # The engine advances self.steps itself (it must count an
+                # op before its preemption point, like the loop below).
+                executed = engine.run(self, hart)
+                if executed:
+                    budget -= executed
+                    continue
             instr = self._fetch(ctx)
             if instr is None:
                 # Trap delivered; if the vector is ours, keep running.
+                budget -= 1
                 continue
             if instr.mnemonic == "ebreak" and hart.state.mode == c.M_MODE:
                 # Semihosting-style exit for native M-mode images.
@@ -92,5 +113,6 @@ class BinaryProgram(GuestProgram):
                 self.machine.halt(f"{self.name}: ebreak")
                 return
             self.steps += 1
+            budget -= 1
             ctx.exec(instr)
         raise RuntimeError(f"binary program {self.name} exceeded MAX_STEPS")

@@ -12,6 +12,7 @@ import time
 from bisect import bisect_right, insort
 from typing import Optional, Protocol, Union
 
+from repro.hart import blocks as _blocks
 from repro.hart.clint import Clint
 from repro.hart.cycles import cycle_model_for, cycles_to_mtime
 from repro.hart.hart import Hart
@@ -87,6 +88,11 @@ class Machine:
         self.spec_bus.attach(self.uart)
 
         self.harts = [Hart(self, hartid) for hartid in range(config.num_harts)]
+        #: Basic-block decoded-run engine for binary images (see
+        #: :mod:`repro.hart.blocks`).  Set to None — or build inside
+        #: ``blocks.blocks_disabled()`` — to force pure single-step
+        #: execution (``--block-cache=off``).
+        self.blocks = _blocks.BlockEngine(self) if _blocks.default_enabled else None
         self._regions: list[tuple[Region, Owner]] = []
         # Sorted-by-base view of ``_regions`` for bisect lookup.  Regions
         # never overlap (enforced in ``register``), so sorting by base gives

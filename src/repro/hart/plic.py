@@ -38,7 +38,11 @@ class Plic:
         self.pending = 0
         self.enable = [0] * num_harts
         self.threshold = [0] * num_harts
-        self.claimed = 0
+        #: Per-context in-service source masks.  A source stays masked
+        #: for every context while any context services it, and only the
+        #: claiming context's completion releases it — a completion
+        #: written by another context is ignored.
+        self.claimed = [0] * num_harts
         #: Fault-injection hook: ``hook(kind, offset, size) -> bool``;
         #: True makes the access fail with a transient bus error.
         self.fault_hook = None
@@ -54,7 +58,10 @@ class Plic:
     def _best_source(self, context: int) -> int:
         """Highest-priority pending+enabled source for a context (0 if none)."""
         best, best_priority = 0, 0
-        candidates = self.pending & self.enable[context] & ~self.claimed
+        in_service = 0
+        for mask in self.claimed:
+            in_service |= mask
+        candidates = self.pending & self.enable[context] & ~in_service
         for source in range(1, MAX_SOURCES):
             if candidates >> source & 1 and self.priority[source] > best_priority:
                 if self.priority[source] > self.threshold[context]:
@@ -84,7 +91,7 @@ class Plic:
         # Claim: return and latch the best source.
         source = self._best_source(context)
         if source:
-            self.claimed |= 1 << source
+            self.claimed[context] |= 1 << source
             self.pending &= ~(1 << source)
             self._refresh()
         return source
@@ -106,8 +113,8 @@ class Plic:
         if register == 0:
             self.threshold[context] = value & 0x7
         else:
-            # Complete.
-            self.claimed &= ~(1 << (value & (MAX_SOURCES - 1)))
+            # Complete — only for a source this context actually claimed.
+            self.claimed[context] &= ~(1 << (value & (MAX_SOURCES - 1)))
         self._refresh()
 
     def _context_register(self, offset: int) -> tuple[int, int]:

@@ -398,7 +398,7 @@ def capture(machine, phase: Optional[str] = None) -> Checkpoint:
                 "pending": plic.pending,
                 "enable": list(plic.enable),
                 "threshold": list(plic.threshold),
-                "claimed": plic.claimed,
+                "claimed": list(plic.claimed),
             },
             "uart": {"output": bytearray(machine.uart.output)},
         },
@@ -503,7 +503,7 @@ def restore(machine, checkpoint: Checkpoint) -> None:
     plic.pending = devices["plic"]["pending"]
     plic.enable[:] = devices["plic"]["enable"]
     plic.threshold[:] = devices["plic"]["threshold"]
-    plic.claimed = devices["plic"]["claimed"]
+    plic.claimed[:] = devices["plic"]["claimed"]
     machine.uart.output[:] = devices["uart"]["output"]
 
     programs = {owner.name: owner for _, owner in machine._regions

@@ -1,0 +1,72 @@
+"""Red-first regression: decode-site faults fire even for lru-cached words.
+
+PR-1 wrapped the decoder in an lru cache keyed on the instruction word.
+The decode fault-injection site was only consulted on the firmware
+emulation path; ``BinaryProgram._fetch`` called the (cached) decoder
+directly, so a canned decode fault aimed at a pc whose word had already
+been decoded never fired.  The site check must run in the fetch path
+*before* the cache lookup.
+"""
+
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.hart.binary import BinaryProgram
+from repro.hart.machine import Machine
+from repro.hart.program import Region
+from repro.isa.asm import Assembler
+from repro.isa import constants as c
+from repro.spec.platform import VISIONFIVE2
+
+REGION = Region("firmware", 0x8000_0000, 0x10_0000)
+
+
+def _loop_image() -> bytes:
+    """An M-mode image spinning on a 2-instruction loop.
+
+    Every loop iteration re-fetches the same two pcs, so by the time the
+    canned fault decision comes up the words are long since lru-cached.
+    The trap vector exits via ebreak, making a delivered decode fault
+    observable as a halt.
+    """
+    asm = Assembler(base=REGION.base)
+    asm.li("t0", REGION.base + 0x100)
+    asm.csrw(c.CSR_MTVEC, "t0")
+    asm.label("loop")
+    asm.addi("a0", "a0", 1)
+    asm.j("loop")
+    while asm.current_address < REGION.base + 0x100:
+        asm.nop()
+    asm.ebreak()
+    return asm.binary()
+
+
+def test_decode_fault_fires_on_cached_word():
+    machine = Machine(VISIONFIVE2)
+    program = BinaryProgram("image", REGION, machine, _loop_image())
+    machine.register(program)
+    plan = FaultPlan(name="decode-once", specs=(
+        FaultSpec("decode", after=20, limit=1),
+    ))
+    injector = FaultInjector(plan, seed=0)
+    machine.install_fault_injector(injector)
+    machine.boot(entry=REGION.base)
+    # Decision 20 lands deep inside the loop: the faulted pc has been
+    # fetched (and its word cached) many times already.
+    assert [event.site for event in injector.injections] == ["decode"]
+    assert injector.injections[0].index == 20
+    # The injected illegal-instruction trap reached the image's vector.
+    assert program.ebreak_hit
+    assert machine.harts[0].state.csr.mcause == c.TrapCause.ILLEGAL_INSTRUCTION
+
+
+def test_no_decode_fault_without_a_matching_spec():
+    machine = Machine(VISIONFIVE2)
+    asm = Assembler(base=REGION.base)
+    asm.li("a0", 3)
+    asm.ebreak()
+    program = BinaryProgram("image", REGION, machine, asm.binary())
+    machine.register(program)
+    injector = FaultInjector(FaultPlan(name="quiet"), seed=0)
+    machine.install_fault_injector(injector)
+    machine.boot(entry=REGION.base)
+    assert program.ebreak_hit
+    assert not injector.injections

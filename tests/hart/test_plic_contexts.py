@@ -1,0 +1,87 @@
+"""Regression tests for per-context PLIC claim/complete state.
+
+Red-first for the bug where ``Plic.claimed`` was a single global mask:
+with two contexts in play, a completion written by one context released
+a source still being serviced by the other, so the re-raised source was
+offered again mid-service — double delivery on 2-hart runs.
+"""
+
+from repro.hart.plic import Plic
+
+CLAIM0 = 0x200004
+CLAIM1 = 0x201004
+
+
+class FakeLines:
+    def __init__(self):
+        self.eip = {}
+
+    def set_eip(self, context, level):
+        self.eip[context] = level
+
+
+def _plic():
+    lines = FakeLines()
+    plic = Plic(0xC00_0000, 2, lines.set_eip)
+    # Source 5 routes to context 0, source 7 to context 1.
+    plic.write(4 * 5, 4, 3)
+    plic.write(4 * 7, 4, 3)
+    plic.write(0x2000, 4, 1 << 5)
+    plic.write(0x2000 + 0x80, 4, 1 << 7)
+    return plic, lines
+
+
+class TestPerContextClaims:
+    def test_cross_context_complete_is_ignored(self):
+        plic, lines = _plic()
+        plic.raise_interrupt(5)
+        plic.raise_interrupt(7)
+        assert plic.read(CLAIM0, 4) == 5
+        assert plic.read(CLAIM1, 4) == 7
+        # Context 1 "completes" source 5 — a source it never claimed.
+        plic.write(CLAIM1, 4, 5)
+        # Source 5 is still in service by context 0: a re-raise must not
+        # be offered to anyone until context 0 itself completes it.
+        plic.raise_interrupt(5)
+        assert lines.eip[0] is False
+        assert plic.read(CLAIM0, 4) == 0
+        # Context 0's own completion releases it and the pending re-raise
+        # is offered again.
+        plic.write(CLAIM0, 4, 5)
+        assert lines.eip[0] is True
+        assert plic.read(CLAIM0, 4) == 5
+
+    def test_two_contexts_service_independently(self):
+        plic, lines = _plic()
+        plic.raise_interrupt(5)
+        plic.raise_interrupt(7)
+        assert plic.read(CLAIM0, 4) == 5
+        assert plic.read(CLAIM1, 4) == 7
+        plic.write(CLAIM0, 4, 5)
+        assert lines.eip[0] is False
+        # Context 1's in-service claim survives context 0's completion.
+        plic.raise_interrupt(7)
+        assert plic.read(CLAIM1, 4) == 0
+        plic.write(CLAIM1, 4, 7)
+        assert lines.eip[1] is True
+        assert plic.read(CLAIM1, 4) == 7
+
+    def test_reraise_while_claimed_waits_for_completion(self):
+        plic, lines = _plic()
+        plic.raise_interrupt(5)
+        assert plic.read(CLAIM0, 4) == 5
+        plic.raise_interrupt(5)
+        assert lines.eip[0] is False
+        assert plic.read(CLAIM0, 4) == 0
+        plic.write(CLAIM0, 4, 5)
+        assert lines.eip[0] is True
+        assert plic.read(CLAIM0, 4) == 5
+
+    def test_complete_of_unclaimed_source_is_a_no_op(self):
+        plic, lines = _plic()
+        plic.raise_interrupt(5)
+        assert plic.read(CLAIM0, 4) == 5
+        plic.write(CLAIM0, 4, 7)  # never claimed by context 0
+        plic.raise_interrupt(5)
+        assert lines.eip[0] is False
+        assert plic.read(CLAIM0, 4) == 0

@@ -20,6 +20,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["boot", "--platform", "pdp11"])
 
+    def test_block_cache_defaults_on(self):
+        args = build_parser().parse_args(["boot"])
+        assert args.block_cache == "on"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["boot", "--block-cache", "maybe"])
+
 
 class TestBootCommand:
     def test_native_boot(self, capsys):
@@ -51,6 +57,15 @@ class TestBootCommand:
     def test_profile_native_boot(self, capsys):
         assert main(["boot", "--native", "--profile"]) == 0
         assert "hot-path profile" in capsys.readouterr().out
+
+    def test_block_cache_off_boot(self, capsys):
+        assert main(["boot", "--block-cache", "off"]) == 0
+        assert "halt:" in capsys.readouterr().out
+
+    def test_block_cache_off_chaos(self, capsys):
+        assert main(["boot", "--chaos", "--chaos-plan", "none",
+                     "--block-cache", "off"]) == 0
+        assert "verdict:      OK" in capsys.readouterr().out
 
 
 class TestAttackCommand:
